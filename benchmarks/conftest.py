@@ -1,0 +1,69 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every paper table/figure has one bench module.  The expensive multi-method
+comparisons are memoized per circuit for the session so the Fig. 5 bench
+(which runs last — see its module name) reuses the Table II/IV/VI runs
+instead of re-simulating them.
+
+Scale is controlled by the MAOPT_BENCH_* environment variables documented
+in :mod:`repro.experiments.config`; set ``MAOPT_BENCH_FULL=1`` for the
+paper's full 10x200 protocol.
+
+Outputs are also written to ``benchmarks/results/*.txt`` so EXPERIMENTS.md
+can reference exact artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.circuits import LDORegulator, ThreeStageTIA, TwoStageOTA
+from repro.experiments import BenchConfig, run_comparison
+from repro.experiments.config import TUNED_MAOPT
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_TASKS = {
+    "ota": TwoStageOTA,
+    "tia": ThreeStageTIA,
+    "ldo": LDORegulator,
+}
+
+_comparison_cache: dict[str, dict] = {}
+
+# Hyper-parameters shared with the CLI and examples.
+BENCH_MAOPT_OVERRIDES = dict(TUNED_MAOPT)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> BenchConfig:
+    return BenchConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def comparison_runner(bench_config):
+    """Memoized circuit-comparison runner shared by all bench modules."""
+
+    def get(circuit: str):
+        if circuit not in _comparison_cache:
+            task = _TASKS[circuit](fidelity=bench_config.fidelity)
+            results = run_comparison(
+                task, bench_config.methods,
+                n_runs=bench_config.n_runs,
+                n_sims=bench_config.n_sims,
+                n_init=bench_config.n_init,
+                seed=bench_config.seed,
+                maopt_overrides=BENCH_MAOPT_OVERRIDES,
+            )
+            _comparison_cache[circuit] = {"task": task, "results": results}
+        return _comparison_cache[circuit]
+
+    return get
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered table/figure under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")

@@ -1,0 +1,52 @@
+"""Ablation: single critic vs critic ensemble.
+
+The paper states multiple critics "do improve optimization, but consume
+more memory resources than using one critic network" and therefore uses a
+single critic.  This bench quantifies both halves of the claim: final FoM
+with 1 vs 3 critics, and the parameter-memory multiplier.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.core.config import MAOptConfig, VariantPreset
+from repro.core.ma_opt import MAOptimizer
+from repro.core.networks import CriticEnsemble
+from repro.core.synthetic import ConstrainedSphere
+from repro.experiments import make_initial_set
+
+FAST = {"critic_steps": 30, "actor_steps": 15, "batch_size": 32,
+        "n_elite": 10, "hidden": (64, 64)}
+
+
+def test_multi_critic_ablation(benchmark):
+    task = ConstrainedSphere(d=10, seed=7)
+
+    def run():
+        out = {}
+        for n_critics in (1, 3):
+            foms = []
+            for rep in range(3):
+                x, f = make_initial_set(task, 25, seed=300 + rep)
+                cfg = MAOptConfig.from_preset(
+                    VariantPreset.MA_OPT, seed=rep, n_critics=n_critics,
+                    **FAST)
+                res = MAOptimizer(task, cfg).run(n_sims=45, x_init=x,
+                                                 f_init=f)
+                foms.append(res.best_fom)
+            out[n_critics] = float(np.mean(foms))
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    mem1 = CriticEnsemble(task.d, task.m + 1, 1,
+                          hidden=FAST["hidden"]).parameter_count()
+    mem3 = CriticEnsemble(task.d, task.m + 1, 3,
+                          hidden=FAST["hidden"]).parameter_count()
+    text = ("Multi-critic ablation (mean best FoM over 3 runs, 45 sims):\n"
+            f"  1 critic : fom={out[1]:.4f}  params={mem1}\n"
+            f"  3 critics: fom={out[3]:.4f}  params={mem3} "
+            f"({mem3 / mem1:.0f}x memory)")
+    write_result("ablation_multi_critic.txt", text)
+    print("\n" + text)
+    assert mem3 == 3 * mem1
+    assert np.isfinite(out[1]) and np.isfinite(out[3])

@@ -1,0 +1,90 @@
+"""Ablation (Fig. 3 / Alg. 2): near-sampling on/off and its parameters.
+
+Paper claims: (a) near-sampling improves the final optimum (MA-Opt vs
+MA-Opt2); (b) a near-sampling round is cheaper than an actor-critic round,
+so MA-Opt also runs faster at equal simulation count.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.core.config import MAOptConfig, VariantPreset
+from repro.core.ma_opt import MAOptimizer
+from repro.core.synthetic import ConstrainedSphere
+from repro.experiments import make_initial_set
+
+FAST = {"critic_steps": 30, "actor_steps": 15, "batch_size": 32,
+        "n_elite": 10}
+
+
+def _mean_best(task, preset, reps=3, **over):
+    foms, times = [], []
+    for rep in range(reps):
+        x, f = make_initial_set(task, 25, seed=200 + rep)
+        cfg = MAOptConfig.from_preset(preset, seed=rep, **{**FAST, **over})
+        t0 = time.perf_counter()
+        res = MAOptimizer(task, cfg).run(n_sims=45, x_init=x, f_init=f)
+        times.append(time.perf_counter() - t0)
+        foms.append(res.best_fom)
+    return float(np.mean(foms)), float(np.mean(times))
+
+
+def test_near_sampling_ablation(benchmark):
+    task = ConstrainedSphere(d=10, seed=7)
+
+    def run():
+        with_ns, t_ns = _mean_best(task, VariantPreset.MA_OPT)
+        without, t_no = _mean_best(task, VariantPreset.MA_OPT_2)
+        radii = {
+            r: _mean_best(task, VariantPreset.MA_OPT, ns_radius=r)[0]
+            for r in (0.01, 0.04, 0.15)
+        }
+        periods = {
+            t: _mean_best(task, VariantPreset.MA_OPT, t_ns=t)[0]
+            for t in (2, 5, 10)
+        }
+        return dict(with_ns=with_ns, without=without, t_with=t_ns,
+                    t_without=t_no, radii=radii, periods=periods)
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Near-sampling ablation (mean best FoM over 3 runs, 45 sims):",
+        f"  MA-Opt  (NS on):  fom={out['with_ns']:.4f}  "
+        f"time={out['t_with']:.1f}s",
+        f"  MA-Opt2 (NS off): fom={out['without']:.4f}  "
+        f"time={out['t_without']:.1f}s",
+        "  radius sweep: " + "  ".join(
+            f"delta={r}: {v:.4f}" for r, v in out["radii"].items()),
+        "  period sweep: " + "  ".join(
+            f"T_NS={t}: {v:.4f}" for t, v in out["periods"].items()),
+    ]
+    text = "\n".join(lines)
+    write_result("ablation_near_sampling.txt", text)
+    print("\n" + text)
+    assert np.isfinite(out["with_ns"])
+
+
+def test_near_sampling_round_cheaper_than_actor_round(benchmark):
+    """Paper Section III-C: a near-sampling round (1 critic sweep over
+    N_samples candidates + 1 sim) is cheaper than an optimization round
+    (critic + N_act actor trainings + N_act sims)."""
+    task = ConstrainedSphere(d=10, seed=7)
+    cfg = MAOptConfig.from_preset(VariantPreset.MA_OPT, seed=0, **FAST)
+    opt = MAOptimizer(task, cfg)
+    opt.initialize(n_init=30)
+    opt.optimization_round()  # warm up critic/actors
+
+    t0 = time.perf_counter()
+    opt.optimization_round()
+    t_opt = time.perf_counter() - t0
+
+    t_ns = benchmark(opt.near_sampling_round)
+    del t_ns  # pytest-benchmark returns the records, timing is in stats
+    t0 = time.perf_counter()
+    opt.near_sampling_round()
+    t_near = time.perf_counter() - t0
+    print(f"\nactor-critic round: {t_opt * 1e3:.1f} ms, "
+          f"near-sampling round: {t_near * 1e3:.1f} ms")
+    assert t_near < t_opt

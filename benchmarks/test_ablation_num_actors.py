@@ -1,0 +1,43 @@
+"""Ablation: number of actors N_act (1, 2, 3, 5).
+
+The paper fixes N_act = 3; this bench sweeps it to expose the
+diversity-vs-budget trade-off (each round costs N_act simulations, so more
+actors means fewer critic refreshes per budget).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.core.config import MAOptConfig
+from repro.core.ma_opt import MAOptimizer
+from repro.core.synthetic import ConstrainedSphere
+from repro.experiments import make_initial_set
+
+FAST = {"critic_steps": 30, "actor_steps": 15, "batch_size": 32,
+        "n_elite": 10, "near_sampling": False, "shared_elite": True}
+
+
+def test_num_actors_sweep(benchmark):
+    task = ConstrainedSphere(d=10, seed=7)
+
+    def run():
+        out = {}
+        for n_act in (1, 2, 3, 5):
+            foms = []
+            for rep in range(3):
+                x, f = make_initial_set(task, 25, seed=100 + rep)
+                cfg = MAOptConfig(n_actors=n_act, seed=rep, **FAST)
+                res = MAOptimizer(task, cfg).run(
+                    n_sims=45, x_init=x, f_init=f,
+                    method_name=f"{n_act}-actor")
+                foms.append(res.best_fom)
+            out[n_act] = float(np.mean(foms))
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["N_act sweep (mean best FoM over 3 runs, 45 sims):"]
+    lines += [f"  N_act={k}: {v:.4f}" for k, v in out.items()]
+    text = "\n".join(lines)
+    write_result("ablation_num_actors.txt", text)
+    print("\n" + text)
+    assert all(np.isfinite(v) for v in out.values())

@@ -1,0 +1,23 @@
+"""Table I: types and ranges of design parameters for the two-stage OTA.
+
+The bench regenerates the table from the task's design space and times the
+full evaluation of a single mid-space OTA design (the unit of work every
+entry in Tables II/IV/VI is built from).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.circuits import TwoStageOTA
+from repro.experiments import parameter_table
+
+
+def test_table1_parameter_ranges(benchmark, bench_config):
+    task = TwoStageOTA(fidelity=bench_config.fidelity)
+    text = parameter_table(task)
+    write_result("table1_ota_params.txt", text)
+    print("\n" + text)
+    u = np.full(task.d, 0.5)
+    metrics = benchmark(task.evaluate, u)
+    assert metrics.shape == (task.m + 1,)
+    assert task.d == 16

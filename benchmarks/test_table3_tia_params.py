@@ -1,0 +1,18 @@
+"""Table III: types and ranges of design parameters for the 3-stage TIA."""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.circuits import ThreeStageTIA
+from repro.experiments import parameter_table
+
+
+def test_table3_parameter_ranges(benchmark, bench_config):
+    task = ThreeStageTIA(fidelity=bench_config.fidelity)
+    text = parameter_table(task)
+    write_result("table3_tia_params.txt", text)
+    print("\n" + text)
+    u = np.full(task.d, 0.5)
+    metrics = benchmark(task.evaluate, u)
+    assert metrics.shape == (task.m + 1,)
+    assert task.d == 15

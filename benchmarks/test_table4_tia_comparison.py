@@ -1,0 +1,28 @@
+"""Table IV: algorithm comparison for the three-stage TIA.
+
+Paper shape: the TIA is the hardest task (DNN-Opt only 4/10 success);
+MA-Opt2/MA-Opt reach full success and MA-Opt attains the lowest min power.
+Note (documented in EXPERIMENTS.md): in this substrate, brute-force
+high-power designs are occasionally feasible, so the success-rate contrast
+compresses relative to the paper while the min-power/FoM contrasts remain.
+"""
+
+from benchmarks.conftest import write_result
+from repro.experiments import comparison_table
+from repro.experiments.tables import summarize_method
+
+
+def test_table4_tia_comparison(benchmark, comparison_runner):
+    bundle = benchmark.pedantic(
+        comparison_runner, args=("tia",), rounds=1, iterations=1,
+    )
+    task, results = bundle["task"], bundle["results"]
+    text = comparison_table(results, task, target_label="Min power (mW)")
+    write_result("table4_tia_comparison.txt", text)
+    print("\n" + text)
+    rows = {m: summarize_method(r) for m, r in results.items()}
+    # Shape assertion only at paper-scale budgets; scaled-down runs are
+    # too noisy for stable method ordering (see EXPERIMENTS.md).
+    if "BO" in rows and "MA-Opt" in rows and any(
+            r.n_sims >= 150 for r in results["MA-Opt"]):
+        assert rows["MA-Opt"]["log10_avg_fom"] <= rows["BO"]["log10_avg_fom"] + 0.3

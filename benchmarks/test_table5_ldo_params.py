@@ -1,0 +1,18 @@
+"""Table V: types and ranges of design parameters for the LDO regulator."""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.circuits import LDORegulator
+from repro.experiments import parameter_table
+
+
+def test_table5_parameter_ranges(benchmark, bench_config):
+    task = LDORegulator(fidelity=bench_config.fidelity)
+    text = parameter_table(task)
+    write_result("table5_ldo_params.txt", text)
+    print("\n" + text)
+    u = np.full(task.d, 0.5)
+    metrics = benchmark(task.evaluate, u)
+    assert metrics.shape == (task.m + 1,)
+    assert task.d == 16

@@ -1,0 +1,26 @@
+"""Table VI: algorithm comparison for the LDO regulator.
+
+Paper shape: RL-inspired methods beat BO; MA-Opt2/MA-Opt reach 10/10
+success; MA-Opt attains the lowest quiescent current and the best (lowest)
+log10 average FoM.
+"""
+
+from benchmarks.conftest import write_result
+from repro.experiments import comparison_table
+from repro.experiments.tables import summarize_method
+
+
+def test_table6_ldo_comparison(benchmark, comparison_runner):
+    bundle = benchmark.pedantic(
+        comparison_runner, args=("ldo",), rounds=1, iterations=1,
+    )
+    task, results = bundle["task"], bundle["results"]
+    text = comparison_table(results, task, target_label="Min Q.C. (mA)")
+    write_result("table6_ldo_comparison.txt", text)
+    print("\n" + text)
+    rows = {m: summarize_method(r) for m, r in results.items()}
+    # Shape assertion only at paper-scale budgets; scaled-down runs are
+    # too noisy for stable method ordering (see EXPERIMENTS.md).
+    if "BO" in rows and "MA-Opt" in rows and any(
+            r.n_sims >= 150 for r in results["MA-Opt"]):
+        assert rows["MA-Opt"]["log10_avg_fom"] <= rows["BO"]["log10_avg_fom"] + 0.3

@@ -1,0 +1,33 @@
+"""Figure 5: average best-so-far FoM convergence for the three circuits.
+
+The module name starts with ``test_z`` so it collects *after* the table
+benches and reuses their memoized comparison runs; standalone invocation
+simply computes them here.
+
+Paper shape: on a log scale, MA-Opt's curve sits lowest over most of the
+budget, with MA-Opt2 close behind, then DNN-Opt/MA-Opt1, with BO far above.
+"""
+
+from benchmarks.conftest import write_result
+from repro.experiments import fom_curves
+from repro.experiments.figures import curves_to_csv, render_ascii
+
+CIRCUITS = ("ota", "tia", "ldo")
+
+
+def test_figure5_fom_convergence(benchmark, comparison_runner):
+    def build_all():
+        return {c: comparison_runner(c) for c in CIRCUITS}
+
+    bundles = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    for circuit in CIRCUITS:
+        results = bundles[circuit]["results"]
+        curves = fom_curves(results)
+        art = render_ascii(curves, title=f"Fig. 5 ({circuit}): log10 avg FoM")
+        csv = curves_to_csv(curves)
+        write_result(f"figure5_{circuit}_curves.csv", csv)
+        write_result(f"figure5_{circuit}_ascii.txt", art)
+        print("\n" + art)
+        # best-so-far traces must be monotone non-increasing
+        for _, y in curves.values():
+            assert all(b <= a + 1e-12 for a, b in zip(y, y[1:]))

@@ -1,0 +1,37 @@
+"""Runtime-fair comparison (the paper's "at the same runtime" analysis).
+
+Section III-A: "by considering the difference in the simulation speed of
+each optimization method, the average FoM of each method was compared based
+on the total runtime of DNN-Opt."  This bench renders the run-averaged
+best-so-far FoM against *wall-clock seconds* for the OTA comparison runs
+(reusing the memoized Table II results; module name sorts after the table
+benches).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.experiments.figures import fom_vs_runtime_curves, render_ascii
+
+
+def test_runtime_fair_comparison(benchmark, comparison_runner):
+    bundle = benchmark.pedantic(
+        comparison_runner, args=("ota",), rounds=1, iterations=1,
+    )
+    results = bundle["results"]
+    curves = fom_vs_runtime_curves(results, n_points=40)
+    art = render_ascii(curves, title="OTA: log10 avg FoM vs wall-clock")
+    write_result("runtime_ota_ascii.txt", art)
+    print("\n" + art)
+
+    rows = ["FoM at DNN-Opt's total runtime (the paper's normalization):"]
+    if "DNN-Opt" in curves:
+        t_ref = curves["DNN-Opt"][0][-1]
+        for method, (t, y) in curves.items():
+            y_at = np.interp(min(t_ref, t[-1]), t, y)
+            rows.append(f"  {method:10s} log10(avg FoM) = {y_at:+.2f}")
+    text = "\n".join(rows)
+    write_result("runtime_ota_at_ref.txt", text)
+    print("\n" + text)
+    for _, y in curves.values():
+        assert all(b <= a + 1e-12 for a, b in zip(y, y[1:]))

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Two-stage OTA sizing: MA-Opt vs DNN-Opt under the paper's protocol.
+
+Mirrors Section III-B1 of the paper at a configurable scale: a shared
+random initial set, equal simulation budgets, then a side-by-side report
+of success, minimum power, and the FoM convergence curve (the Table II /
+Fig. 5a experiment).
+
+Usage:
+    python examples/ota_sizing.py [--sims 60] [--init 40] [--runs 1]
+    python examples/ota_sizing.py --full          # paper scale (slow)
+"""
+
+import argparse
+
+from repro.circuits import TwoStageOTA
+from repro.experiments import comparison_table, fom_curves, run_comparison
+from repro.experiments.config import TUNED_MAOPT as MAOPT_OVERRIDES
+from repro.experiments.figures import render_ascii
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sims", type=int, default=60)
+    parser.add_argument("--init", type=int, default=40)
+    parser.add_argument("--runs", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--methods", default="DNN-Opt,MA-Opt")
+    parser.add_argument("--full", action="store_true",
+                        help="paper protocol: 10 runs x 200 sims x 100 init")
+    args = parser.parse_args()
+    if args.full:
+        args.runs, args.sims, args.init = 10, 200, 100
+
+    task = TwoStageOTA(fidelity="full" if args.full else "fast")
+    methods = [m.strip() for m in args.methods.split(",")]
+    print(task.describe())
+    print(f"\ncomparing {methods}: {args.runs} run(s), "
+          f"{args.init} init + {args.sims} sims each\n")
+
+    results = run_comparison(task, methods, n_runs=args.runs,
+                             n_sims=args.sims, n_init=args.init,
+                             seed=args.seed, verbose=True,
+                             maopt_overrides=MAOPT_OVERRIDES)
+    print()
+    print(comparison_table(results, task, target_label="Min power (mW)"))
+    print()
+    print(render_ascii(fom_curves(results),
+                       title="Fig. 5a: OTA FoM convergence"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Post-sizing verification: process corners and Monte Carlo mismatch.
+
+A production sizing flow never stops at the nominal corner.  This example
+takes a known-good OTA sizing, re-measures it at the five process corners
+(TT/FF/SS/FS/SF), and estimates the input-offset spread under Pelgrom
+mismatch — the analyses a designer runs before signing a schematic off.
+
+Usage:
+    python examples/robustness_check.py [--mc 40]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.circuits import TwoStageOTA
+from repro.circuits.ota import build_ota
+from repro.spice import monte_carlo, operating_point
+from repro.spice.corners import CORNER_NAMES, corner_models
+
+# The validated reference sizing from the test suite.
+SIZING = {
+    "L1": 0.4, "L2": 0.5, "L3": 1.0, "L4": 0.5, "L5": 0.5,
+    "W1": 60.0, "W2": 15.0, "W3": 20.0, "W4": 30.0, "W5": 10.0,
+    "R": 57.5, "C": 300.0, "Cf": 800.0,
+    "N1": 1, "N2": 10, "N3": 10,
+}
+
+
+def corner_sweep() -> None:
+    print("=== corner sweep "
+          "(re-running the full measurement bench per corner) ===")
+    header = f"{'corner':8s}{'feasible':>10s}{'power mW':>10s}" \
+             f"{'gain dB':>9s}{'PM deg':>8s}{'UGF MHz':>9s}"
+    print(header)
+    for corner in CORNER_NAMES:
+        task = TwoStageOTA(fidelity="fast", corner=corner)
+        mv = task.evaluate(task.space.normalize(SIZING))
+        named = dict(zip(task.metric_names, mv))
+        print(f"{corner:8s}{str(task.is_feasible(mv)):>10s}"
+              f"{named['power'] * 1e3:>10.3f}{named['dc_gain']:>9.1f}"
+              f"{named['pm']:>8.1f}{named['ugf'] / 1e6:>9.1f}")
+
+
+def temperature_sweep() -> None:
+    print("\n=== temperature sweep (TT corner) ===")
+    print(f"{'temp':>8s}{'feasible':>10s}{'power mW':>10s}{'gain dB':>9s}")
+    for temp_c in (-40.0, 27.0, 85.0, 125.0):
+        task = TwoStageOTA(fidelity="fast", temp_c=temp_c)
+        mv = task.evaluate(task.space.normalize(SIZING))
+        named = dict(zip(task.metric_names, mv))
+        print(f"{temp_c:>6.0f}C{str(task.is_feasible(mv)):>11s}"
+              f"{named['power'] * 1e3:>10.3f}{named['dc_gain']:>9.1f}")
+
+
+def offset_monte_carlo(n_samples: int) -> None:
+    print(f"\n=== input-offset Monte Carlo ({n_samples} samples) ===")
+
+    def build():
+        return build_ota(SIZING, closed_loop=True)
+
+    def offset(ckt) -> float:
+        op = operating_point(ckt)
+        # unity-gain buffer: offset = v(out) - v(in+)
+        return op.v("out") - 0.9
+
+    spread = monte_carlo(build, offset, n_samples,
+                         rng=np.random.default_rng(0))
+    ok = spread[np.isfinite(spread)]
+    print(f"valid samples : {ok.size}/{n_samples}")
+    print(f"offset mean   : {1e3 * np.mean(ok):+.3f} mV")
+    print(f"offset sigma  : {1e3 * np.std(ok):.3f} mV")
+    print(f"|offset| > 5mV: {np.mean(np.abs(ok) > 5e-3):.1%}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mc", type=int, default=40,
+                        help="Monte Carlo sample count")
+    args = parser.parse_args()
+    corner_sweep()
+    temperature_sweep()
+    offset_monte_carlo(args.mc)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Three-stage TIA sizing with a look at the loop-gain measurement.
+
+Optimizes the TIA (minimize power s.t. Eq. 8: gain / UGF / input noise),
+then prints the winner's loop-gain Bode points — the injection-based
+measurement behind the paper's DC-gain and UGF numbers.
+
+Usage:
+    python examples/tia_sizing.py [--sims 40] [--init 30] [--seed 0]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import MAOptConfig, MAOptimizer
+from repro.circuits import ThreeStageTIA
+from repro.circuits.tia import build_tia
+from repro.experiments.config import TUNED_MAOPT
+from repro.spice import ac_analysis, operating_point
+from repro.spice import measure as M
+from repro.spice.ac import logspace_frequencies
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sims", type=int, default=40)
+    parser.add_argument("--init", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    task = ThreeStageTIA(fidelity="fast")
+    print(task.describe())
+
+    config = MAOptConfig.from_preset(
+        "ma-opt", seed=args.seed,
+        **TUNED_MAOPT,
+    )
+    print(f"\noptimizing: {args.init} init + {args.sims} sims ...")
+    result = MAOptimizer(task, config).run(n_sims=args.sims,
+                                           n_init=args.init)
+    best = result.best_feasible() or result.best_record()
+    params = task.space.denormalize(best.x)
+
+    print(f"\nmet all specs: {result.success}")
+    print(f"power = {best.metrics[0] * 1e3:.3f} mW")
+    for spec, value in zip(task.specs, best.metrics[1:]):
+        mark = "PASS" if spec.satisfied(value) else "FAIL"
+        print(f"  [{mark}] {spec.name:10s} = {value:.4g} {spec.unit}")
+
+    # Loop-gain Bode playback (voltage injection at the amplifier output).
+    ckt = build_tia(params)
+    op = operating_point(ckt)
+    freqs = logspace_frequencies(1e3, 3e10, 4)
+    ckt["Iin"].ac = 0.0
+    ckt["Vinj"].ac = 1.0
+    ac = ac_analysis(ckt, freqs, op)
+    loop = -ac.v("out") / ac.v("fbr")
+    print("\nloop gain |T(f)| of the winner:")
+    for f, t in zip(freqs[::6], loop[::6]):
+        bar = "#" * max(0, int(M.db(abs(t)) / 3))
+        print(f"  {f:10.3e} Hz  {M.db(abs(t)):7.1f} dB  {bar}")
+    ugf = M.unity_gain_frequency(freqs, loop)
+    print(f"\nunity-gain crossover: "
+          f"{'not in range' if ugf is None else f'{ugf:.3e} Hz'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Shared scaffolding for baseline optimizers."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.fom import FigureOfMerit
+from repro.core.problem import SizingTask
+from repro.core.result import EvaluationRecord, OptimizationResult
+
+
+class BaselineOptimizer:
+    """Budgeted black-box minimizer of the task FoM.
+
+    Subclasses implement :meth:`_propose` (next design(s) to simulate) and
+    may override :meth:`_observe` to update internal state.  The driver
+    enforces the shared-initial-set protocol and produces the same
+    :class:`OptimizationResult` as the MA-Opt family.
+    """
+
+    method_name = "baseline"
+
+    def __init__(self, task: SizingTask, seed: int | None = None) -> None:
+        self.task = task
+        self.rng = np.random.default_rng(seed)
+        self.fom = FigureOfMerit(task)
+        self.x_hist: list[np.ndarray] = []
+        self.y_hist: list[float] = []
+
+    # -- subclass interface ----------------------------------------------------
+    def _propose(self) -> np.ndarray:
+        """Return the next design (shape (d,)) to simulate."""
+        raise NotImplementedError
+
+    def _observe(self, x: np.ndarray, fom_value: float,
+                 metrics: np.ndarray) -> None:
+        """Hook called after each simulation (default: record history)."""
+        del metrics
+
+    # -- driver -------------------------------------------------------------------
+    def run(self, n_sims: int, n_init: int = 100,
+            x_init: np.ndarray | None = None,
+            f_init: np.ndarray | None = None) -> OptimizationResult:
+        start = time.perf_counter()
+        if x_init is None:
+            x_init = self.task.space.sample(self.rng, n_init)
+        x_init = np.atleast_2d(np.asarray(x_init, dtype=float))
+        if f_init is None:
+            f_init = self.task.evaluate_batch(x_init)
+        f_init = np.atleast_2d(np.asarray(f_init, dtype=float))
+        init_foms = self.fom(f_init)
+        for x, g in zip(x_init, init_foms):
+            self.x_hist.append(np.asarray(x, dtype=float))
+            self.y_hist.append(float(g))
+        records: list[EvaluationRecord] = []
+        t0 = time.perf_counter()
+        for i in range(n_sims):
+            x = np.clip(self._propose(), 0.0, 1.0)
+            metrics = self.task.evaluate(x)
+            g = float(self.fom(metrics))
+            self.x_hist.append(x.copy())
+            self.y_hist.append(g)
+            self._observe(x, g, metrics)
+            records.append(EvaluationRecord(
+                index=i, x=x.copy(), metrics=metrics, fom=g,
+                kind=self.method_name, owner=None,
+                feasible=self.task.is_feasible(metrics),
+                t_wall=time.perf_counter() - t0,
+            ))
+        return OptimizationResult(
+            task_name=self.task.name, method=self.method_name,
+            records=records, init_best_fom=float(np.min(init_foms)),
+            wall_time_s=time.perf_counter() - start,
+        )

@@ -1,0 +1,71 @@
+"""Differential evolution over the FoM (related work, ref [8])."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineOptimizer
+from repro.core.problem import SizingTask
+
+
+class DifferentialEvolution(BaselineOptimizer):
+    """DE/rand/1/bin with greedy per-slot replacement.
+
+    Like the PSO baseline, one trial vector is evaluated per simulation so
+    budgets are comparable across methods.
+    """
+
+    method_name = "DE"
+
+    def __init__(self, task: SizingTask, seed: int | None = None,
+                 pop_size: int = 20, f_weight: float = 0.6,
+                 crossover: float = 0.9) -> None:
+        super().__init__(task, seed)
+        if pop_size < 4:
+            raise ValueError("DE needs at least 4 individuals")
+        if not 0.0 < crossover <= 1.0:
+            raise ValueError("crossover must be in (0, 1]")
+        self.pop_size = pop_size
+        self.f_weight = f_weight
+        self.crossover = crossover
+        self._initialized = False
+        self._cursor = 0
+        self._trial: np.ndarray | None = None
+
+    def _lazy_init(self) -> None:
+        hist_x = np.array(self.x_hist)
+        hist_y = np.array(self.y_hist)
+        order = np.argsort(hist_y)[: self.pop_size]
+        d = self.task.d
+        if order.size >= self.pop_size:
+            self.pop = hist_x[order].copy()
+            self.pop_y = hist_y[order].copy()
+        else:
+            extra = self.rng.uniform(0, 1, size=(self.pop_size - order.size, d))
+            self.pop = np.concatenate([hist_x[order], extra])
+            self.pop_y = np.concatenate([hist_y[order],
+                                         np.full(extra.shape[0], np.inf)])
+        self._initialized = True
+
+    def _propose(self) -> np.ndarray:
+        if not self._initialized:
+            self._lazy_init()
+        i = self._cursor
+        choices = [j for j in range(self.pop_size) if j != i]
+        a, b, c = self.rng.choice(choices, size=3, replace=False)
+        mutant = self.pop[a] + self.f_weight * (self.pop[b] - self.pop[c])
+        mutant = np.clip(mutant, 0.0, 1.0)
+        cross = self.rng.uniform(size=self.task.d) < self.crossover
+        cross[self.rng.integers(self.task.d)] = True  # at least one gene
+        trial = np.where(cross, mutant, self.pop[i])
+        self._trial = trial
+        return trial.copy()
+
+    def _observe(self, x: np.ndarray, fom_value: float,
+                 metrics: np.ndarray) -> None:
+        del metrics, x
+        i = self._cursor
+        if fom_value <= self.pop_y[i]:
+            self.pop[i] = self._trial
+            self.pop_y[i] = fom_value
+        self._cursor = (self._cursor + 1) % self.pop_size

@@ -1,0 +1,104 @@
+"""Gaussian-process regression with an ARD squared-exponential kernel.
+
+Implemented from scratch (Cholesky factorization, analytic marginal
+likelihood) so the repo carries no dependency beyond numpy/scipy.  The
+O(N^3) refit cost per BO iteration is the computational signature the paper
+holds against BO — this implementation reproduces it honestly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+from scipy.optimize import minimize
+
+
+class GaussianProcess:
+    """GP regressor ``y ~ GP(0, k)`` with ARD-RBF kernel plus noise.
+
+    Hyper-parameters (signal variance, per-dimension lengthscales, noise
+    variance) are optimized by L-BFGS on the log marginal likelihood when
+    :meth:`fit` is called with ``optimize=True``.
+    """
+
+    def __init__(self, d: int, lengthscale: float = 0.3,
+                 signal_var: float = 1.0, noise_var: float = 1e-4) -> None:
+        if d < 1:
+            raise ValueError("d must be >= 1")
+        self.d = d
+        self.log_ls = np.full(d, np.log(lengthscale))
+        self.log_sf2 = np.log(signal_var)
+        self.log_sn2 = np.log(noise_var)
+        self._x: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._alpha: np.ndarray | None = None
+        self._chol = None
+
+    # -- kernel ----------------------------------------------------------------
+    def _k(self, xa: np.ndarray, xb: np.ndarray,
+           log_ls: np.ndarray, log_sf2: float) -> np.ndarray:
+        ls = np.exp(log_ls)
+        diff = xa[:, None, :] / ls - xb[None, :, :] / ls
+        sq = np.sum(diff**2, axis=-1)
+        return np.exp(log_sf2) * np.exp(-0.5 * sq)
+
+    def _nll(self, theta: np.ndarray, x: np.ndarray, y: np.ndarray) -> float:
+        d = self.d
+        log_ls, log_sf2, log_sn2 = theta[:d], theta[d], theta[d + 1]
+        k = self._k(x, x, log_ls, log_sf2)
+        k[np.diag_indices_from(k)] += np.exp(log_sn2) + 1e-10
+        try:
+            chol = cho_factor(k, lower=True)
+        except np.linalg.LinAlgError:
+            return 1e10
+        alpha = cho_solve(chol, y)
+        logdet = 2.0 * np.sum(np.log(np.diag(chol[0])))
+        return float(0.5 * y @ alpha + 0.5 * logdet
+                     + 0.5 * len(y) * np.log(2 * np.pi))
+
+    # -- fitting ---------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray, optimize: bool = True,
+            maxiter: int = 40) -> "GaussianProcess":
+        """Fit to data; ``y`` is standardized internally."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.size:
+            raise ValueError("x and y lengths differ")
+        if x.shape[1] != self.d:
+            raise ValueError(f"expected {self.d} input dims, got {x.shape[1]}")
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        ys = (y - self._y_mean) / self._y_std
+        if optimize and len(ys) >= 4:
+            theta0 = np.concatenate([self.log_ls, [self.log_sf2, self.log_sn2]])
+            bounds = ([(np.log(0.01), np.log(10.0))] * self.d
+                      + [(np.log(1e-3), np.log(1e3)),
+                         (np.log(1e-8), np.log(1.0))])
+            res = minimize(self._nll, theta0, args=(x, ys), method="L-BFGS-B",
+                           bounds=bounds, options={"maxiter": maxiter})
+            if np.isfinite(res.fun):
+                self.log_ls = res.x[: self.d]
+                self.log_sf2 = float(res.x[self.d])
+                self.log_sn2 = float(res.x[self.d + 1])
+        k = self._k(x, x, self.log_ls, self.log_sf2)
+        k[np.diag_indices_from(k)] += np.exp(self.log_sn2) + 1e-10
+        self._chol = cho_factor(k, lower=True)
+        self._alpha = cho_solve(self._chol, ys)
+        self._x = x
+        return self
+
+    # -- prediction --------------------------------------------------------------
+    def predict(self, x_new: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation at ``x_new`` (de-standardized)."""
+        if self._x is None:
+            raise RuntimeError("fit the GP first")
+        x_new = np.atleast_2d(np.asarray(x_new, dtype=float))
+        ks = self._k(x_new, self._x, self.log_ls, self.log_sf2)
+        mean_s = ks @ self._alpha
+        v = cho_solve(self._chol, ks.T)
+        var_s = np.exp(self.log_sf2) - np.sum(ks * v.T, axis=1)
+        var_s = np.maximum(var_s, 1e-12)
+        mean = mean_s * self._y_std + self._y_mean
+        std = np.sqrt(var_s) * self._y_std
+        return mean, std

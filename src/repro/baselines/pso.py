@@ -1,0 +1,84 @@
+"""Particle swarm optimization over the FoM (related work, ref [7])."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineOptimizer
+from repro.core.problem import SizingTask
+
+
+class ParticleSwarm(BaselineOptimizer):
+    """Global-best PSO with inertia damping and reflecting bounds.
+
+    Evaluations are budgeted one at a time (particles advance round-robin),
+    so the total simulation count matches the other methods exactly.
+    """
+
+    method_name = "PSO"
+
+    def __init__(self, task: SizingTask, seed: int | None = None,
+                 n_particles: int = 20, inertia: float = 0.72,
+                 c_cognitive: float = 1.5, c_social: float = 1.5) -> None:
+        super().__init__(task, seed)
+        if n_particles < 2:
+            raise ValueError("need at least 2 particles")
+        self.n_particles = n_particles
+        self.inertia = inertia
+        self.c1 = c_cognitive
+        self.c2 = c_social
+        self._initialized = False
+        self._cursor = 0
+
+    def _lazy_init(self) -> None:
+        d = self.task.d
+        hist_x = np.array(self.x_hist)
+        hist_y = np.array(self.y_hist)
+        order = np.argsort(hist_y)[: self.n_particles]
+        if order.size >= self.n_particles:
+            self.pos = hist_x[order].copy()
+            pbest_y = hist_y[order].copy()
+        else:  # not enough history: fill with uniform samples
+            extra = self.rng.uniform(0, 1, size=(self.n_particles - order.size, d))
+            self.pos = np.concatenate([hist_x[order], extra])
+            pbest_y = np.concatenate([hist_y[order],
+                                      np.full(extra.shape[0], np.inf)])
+        self.vel = self.rng.uniform(-0.1, 0.1, size=(self.n_particles, d))
+        self.pbest = self.pos.copy()
+        self.pbest_y = pbest_y
+        g = int(np.argmin(self.pbest_y))
+        self.gbest = self.pbest[g].copy()
+        self.gbest_y = float(self.pbest_y[g])
+        self._initialized = True
+
+    def _propose(self) -> np.ndarray:
+        if not self._initialized:
+            self._lazy_init()
+        i = self._cursor
+        r1 = self.rng.uniform(size=self.task.d)
+        r2 = self.rng.uniform(size=self.task.d)
+        self.vel[i] = (self.inertia * self.vel[i]
+                       + self.c1 * r1 * (self.pbest[i] - self.pos[i])
+                       + self.c2 * r2 * (self.gbest - self.pos[i]))
+        nxt = self.pos[i] + self.vel[i]
+        # Reflecting bounds keep particles inside the cube.
+        over = nxt > 1.0
+        under = nxt < 0.0
+        nxt[over] = 2.0 - nxt[over]
+        nxt[under] = -nxt[under]
+        nxt = np.clip(nxt, 0.0, 1.0)
+        self.vel[i][over | under] *= -0.5
+        self.pos[i] = nxt
+        return nxt.copy()
+
+    def _observe(self, x: np.ndarray, fom_value: float,
+                 metrics: np.ndarray) -> None:
+        del metrics
+        i = self._cursor
+        if fom_value < self.pbest_y[i]:
+            self.pbest[i] = x.copy()
+            self.pbest_y[i] = fom_value
+        if fom_value < self.gbest_y:
+            self.gbest = x.copy()
+            self.gbest_y = fom_value
+        self._cursor = (self._cursor + 1) % self.n_particles

@@ -1,0 +1,16 @@
+"""Uniform random search — the sanity floor every method must beat."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineOptimizer
+
+
+class RandomSearch(BaselineOptimizer):
+    """Proposes i.i.d. uniform designs in the unit cube."""
+
+    method_name = "Random"
+
+    def _propose(self) -> np.ndarray:
+        return self.rng.uniform(0.0, 1.0, size=self.task.d)

@@ -1,0 +1,21 @@
+"""The paper's three benchmark circuits as sizing tasks.
+
+Each task owns:
+
+* the design space of Tables I / III / V (same parameter names, units,
+  ranges and integer multipliers),
+* a parametric netlist builder (Fig. 4's schematics realized on the
+  :mod:`repro.spice` engine with generic 180 nm model cards),
+* a measurement bench for every constraint in Eqs. 7-9,
+* the paper's target metric (power / power / quiescent current).
+
+All tasks accept a ``fidelity`` argument: ``"full"`` uses paper-grade
+analysis resolution, ``"fast"`` coarsens AC grids and transient steps for
+test/bench speed while preserving metric semantics.
+"""
+
+from repro.circuits.ldo import LDORegulator
+from repro.circuits.ota import TwoStageOTA
+from repro.circuits.tia import ThreeStageTIA
+
+__all__ = ["TwoStageOTA", "ThreeStageTIA", "LDORegulator"]

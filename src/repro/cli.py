@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``describe <task>``   print the task's target, constraints and Table of
+                      parameter ranges.
+``optimize <task>``   run one optimizer (default MA-Opt) on the task and
+                      report the best design.
+``compare <task>``    run the paper's multi-method comparison and print the
+                      Table II/IV/VI-style summary plus the Fig. 5 panel.
+``netlist <task>``    print the netlist of a design (mid-space by default).
+
+Tasks: ``ota``, ``tia``, ``ldo``, ``sphere`` (cheap synthetic).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.experiments.config import TUNED_MAOPT as _MAOPT_TUNED
+
+
+def _make_task(name: str, fidelity: str, corner: str = "tt"):
+    from repro.circuits import LDORegulator, ThreeStageTIA, TwoStageOTA
+    from repro.core.synthetic import ConstrainedSphere
+
+    factories = {
+        "ota": lambda: TwoStageOTA(fidelity=fidelity, corner=corner),
+        "tia": lambda: ThreeStageTIA(fidelity=fidelity, corner=corner),
+        "ldo": lambda: LDORegulator(fidelity=fidelity, corner=corner),
+        "sphere": lambda: ConstrainedSphere(d=12, seed=3),
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown task {name!r}; options: {sorted(factories)}"
+        ) from None
+
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    from repro.experiments import parameter_table
+
+    task = _make_task(args.task, args.fidelity, args.corner)
+    print(task.describe())
+    print()
+    print(parameter_table(task))
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.experiments import make_initial_set, run_method
+
+    task = _make_task(args.task, args.fidelity, args.corner)
+    print(f"{args.method} on {task.name!r}: "
+          f"{args.init} init + {args.sims} sims (seed {args.seed})")
+    x, f = make_initial_set(task, args.init, seed=args.seed)
+    res = run_method(args.method, task, args.sims, x, f, seed=args.seed,
+                     maopt_overrides=_MAOPT_TUNED)
+    trace = res.best_fom_trace()
+    print(f"best FoM: {trace[0]:.4f} -> {trace[-1]:.4f}; "
+          f"specs met: {res.success}; wall {res.wall_time_s:.1f}s")
+    best = res.best_feasible() or res.best_record()
+    print("best design:")
+    for name, value in task.space.denormalize(best.x).items():
+        print(f"  {name:6s} = {value:.4f} {task.space[name].unit}")
+    print("metrics:")
+    for name, value in zip(task.metric_names, best.metrics):
+        print(f"  {name:10s} = {value:.5g}")
+    if args.save:
+        from repro.core.serialize import save_result
+
+        save_result(res, args.save)
+        print(f"saved run to {args.save}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments import comparison_table, fom_curves, run_comparison
+    from repro.experiments.figures import render_ascii
+
+    task = _make_task(args.task, args.fidelity)
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    results = run_comparison(task, methods, n_runs=args.runs,
+                             n_sims=args.sims, n_init=args.init,
+                             seed=args.seed, verbose=not args.quiet,
+                             maopt_overrides=_MAOPT_TUNED)
+    print()
+    print(comparison_table(results, task))
+    print()
+    print(render_ascii(fom_curves(results),
+                       title=f"FoM convergence on {task.name}"))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import build_report
+
+    build_report(args.results, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_netlist(args: argparse.Namespace) -> int:
+    task = _make_task(args.task, args.fidelity)
+    builders = {}
+    try:
+        from repro.circuits.ldo import build_ldo
+        from repro.circuits.ota import build_ota
+        from repro.circuits.tia import build_tia
+
+        builders = {"ota": build_ota, "tia": build_tia, "ldo": build_ldo}
+    except ImportError:  # pragma: no cover
+        pass
+    if args.task not in builders:
+        raise SystemExit(f"no netlist builder for task {args.task!r}")
+    u = np.full(task.d, args.point)
+    params = task.space.denormalize(u)
+    print(builders[args.task](params).netlist_text())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MA-Opt reproduction CLI")
+    parser.add_argument("--fidelity", choices=("fast", "full"),
+                        default="fast")
+    parser.add_argument("--corner", default="tt",
+                        choices=("tt", "ff", "ss", "fs", "sf"),
+                        help="process corner for the circuit tasks")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("describe", help="print task and parameter table")
+    p.add_argument("task")
+    p.set_defaults(func=cmd_describe)
+
+    p = sub.add_parser("optimize", help="run one optimizer on a task")
+    p.add_argument("task")
+    p.add_argument("--method", default="MA-Opt")
+    p.add_argument("--sims", type=int, default=60)
+    p.add_argument("--init", type=int, default=40)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--save", help="archive the run to this .npz file")
+    p.set_defaults(func=cmd_optimize)
+
+    p = sub.add_parser("compare", help="multi-method comparison (Table II)")
+    p.add_argument("task")
+    p.add_argument("--methods", default="BO,DNN-Opt,MA-Opt1,MA-Opt2,MA-Opt")
+    p.add_argument("--runs", type=int, default=2)
+    p.add_argument("--sims", type=int, default=40)
+    p.add_argument("--init", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("report", help="assemble benchmarks/results into one markdown report")
+    p.add_argument("--results", default="benchmarks/results")
+    p.add_argument("--output", default="REPORT.md")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("netlist", help="print a design's netlist")
+    p.add_argument("task")
+    p.add_argument("--point", type=float, default=0.5,
+                   help="normalized coordinate used for every parameter")
+    p.set_defaults(func=cmd_netlist)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""The figure-of-merit function g(.) — Eq. 2 of the paper.
+
+    g[f(x)] = w0 * f0(x) + sum_i min(1, max(0, w_i * v_i(x)))
+
+where ``v_i`` is the *relative* violation of constraint i (positive iff
+violated).  Feasible designs therefore compete purely on the (weighted)
+target metric, while each violated constraint contributes up to 1.
+
+The class also provides the analytic (sub)gradient of g with respect to the
+metric vector, which actor training back-propagates through the critic
+(Eq. 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import SizingTask
+
+
+class FigureOfMerit:
+    """Evaluates g(.) and its gradient over metric vectors."""
+
+    def __init__(self, task: SizingTask) -> None:
+        self.task = task
+        self._w0 = task.target.weight
+        self._weights = np.array([s.weight for s in task.specs])
+        self._bounds = np.array([s.bound for s in task.specs])
+        self._signs = np.array([+1.0 if s.kind == ">" else -1.0 for s in task.specs])
+
+    @property
+    def m(self) -> int:
+        return len(self._weights)
+
+    def violations(self, metrics: np.ndarray) -> np.ndarray:
+        """Relative violations v_i (positive iff violated), batched.
+
+        ``metrics`` has shape (..., m+1): column 0 is the target.
+        """
+        metrics = np.asarray(metrics, dtype=float)
+        f = metrics[..., 1:]
+        return self._signs * (self._bounds - f) / np.abs(self._bounds)
+
+    def __call__(self, metrics: np.ndarray) -> np.ndarray | float:
+        """g(.) for one metric vector or a batch (shape (..., m+1))."""
+        metrics = np.asarray(metrics, dtype=float)
+        scalar = metrics.ndim == 1
+        batch = np.atleast_2d(metrics)
+        if batch.shape[-1] != self.m + 1:
+            raise ValueError(
+                f"expected metric vectors of length {self.m + 1}, "
+                f"got {batch.shape[-1]}"
+            )
+        penalty = np.minimum(
+            1.0, np.maximum(0.0, self._weights * self.violations(batch))
+        ).sum(axis=-1)
+        g = self._w0 * batch[..., 0] + penalty
+        return float(g[0]) if scalar else g
+
+    def gradient(self, metrics: np.ndarray) -> np.ndarray:
+        """(Sub)gradient dg/d(metrics), same shape as ``metrics``.
+
+        Inside the active band ``0 < w_i v_i < 1`` the penalty term has
+        slope ``-w_i * sign_i / |c_i|`` with respect to the raw metric; at
+        the clip boundaries the subgradient is 0.
+        """
+        metrics = np.asarray(metrics, dtype=float)
+        scalar = metrics.ndim == 1
+        batch = np.atleast_2d(metrics)
+        grad = np.zeros_like(batch)
+        grad[..., 0] = self._w0
+        wv = self._weights * self.violations(batch)
+        active = (wv > 0.0) & (wv < 1.0)
+        slope = -self._weights * self._signs / np.abs(self._bounds)
+        grad[..., 1:] = np.where(active, slope, 0.0)
+        return grad[0] if scalar else grad
+
+    def with_margin(self, metrics: np.ndarray, margin: float) -> np.ndarray:
+        """Return metrics shifted *against* each constraint by
+        ``margin * |bound|`` — evaluating g(.) on the result selects designs
+        that satisfy the specs with a safety margin.  Used by near-sampling
+        to avoid betting simulations on candidates the critic places exactly
+        on the predicted feasibility boundary."""
+        if margin < 0:
+            raise ValueError("margin must be >= 0")
+        out = np.array(metrics, dtype=float, copy=True)
+        out[..., 1:] -= self._signs * margin * np.abs(self._bounds)
+        return out
+
+    def is_feasible(self, metrics: np.ndarray) -> np.ndarray | bool:
+        """Feasibility mask from metric vectors (batched or single)."""
+        v = self.violations(np.atleast_2d(metrics))
+        feas = np.all(v <= 0.0, axis=-1)
+        return bool(feas[0]) if np.asarray(metrics).ndim == 1 else feas

@@ -1,0 +1,247 @@
+"""MA-Opt optimizer: Algorithms 1 and 3 of the paper.
+
+One *round* is either
+
+* an **optimization round** (Alg. 1): refresh the critic on pseudo-samples
+  (Eq. 3/4), train every actor against the critic + elite-box penalty
+  (Eq. 5/6), then let each actor propose one design — the actor-predicted
+  best successor of an elite state — and simulate it (``n_actors``
+  simulations per round); or
+* a **near-sampling round** (Alg. 2): one simulation of the critic-ranked
+  best neighbour of the incumbent optimum.
+
+Alg. 3 alternates: optimization rounds until the specs are met, then
+near-sampling every ``t_ns``-th round.  All four paper variants (DNN-Opt,
+MA-Opt1, MA-Opt2, MA-Opt) are this class under different
+:class:`~repro.core.config.MAOptConfig` presets.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import MAOptConfig
+from repro.core.fom import FigureOfMerit
+from repro.core.near_sampling import near_sampling_proposal
+from repro.core.networks import Actor, Critic, CriticEnsemble
+from repro.core.parallel import SimulationExecutor
+from repro.core.population import EliteSet, TotalDesignSet
+from repro.core.problem import SizingTask
+from repro.core.result import EvaluationRecord, OptimizationResult
+from repro.core.training import propose_design, train_actor, train_critic
+
+
+class MAOptimizer:
+    """The MA-Opt family optimizer (see module docstring)."""
+
+    def __init__(self, task: SizingTask, config: MAOptConfig | None = None) -> None:
+        self.task = task
+        self.config = config or MAOptConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.fom = FigureOfMerit(task)
+        n_metrics = task.m + 1
+        self.total = TotalDesignSet(task.d, n_metrics)
+        seed_seq = np.random.SeedSequence(self.config.seed)
+        child_seeds = seed_seq.spawn(self.config.n_actors + 1)
+        critic_seed = int(child_seeds[0].generate_state(1)[0])
+        log_mask = task.metric_log_mask
+        log_floors = task.metric_log_floors
+        if self.config.n_critics > 1:
+            self.critic = CriticEnsemble(
+                task.d, n_metrics, self.config.n_critics,
+                hidden=self.config.hidden, lr=self.config.critic_lr,
+                seed=critic_seed, log_mask=log_mask, log_floors=log_floors,
+            )
+        else:
+            self.critic = Critic(
+                task.d, n_metrics, hidden=self.config.hidden,
+                lr=self.config.critic_lr, seed=critic_seed,
+                log_mask=log_mask, log_floors=log_floors,
+            )
+        self.actors = [
+            Actor(task.d, hidden=self.config.hidden, lr=self.config.actor_lr,
+                  action_scale=self.config.action_scale,
+                  seed=int(child_seeds[i + 1].generate_state(1)[0]))
+            for i in range(self.config.n_actors)
+        ]
+        # Elite views: the global view always ranks everything; per-actor
+        # views implement Fig. 2's shared/individual distinction.
+        self.global_elite = EliteSet(self.total, self.config.n_elite, owner=None)
+        if self.config.shared_elite:
+            self.actor_elites = [self.global_elite] * self.config.n_actors
+        else:
+            self.actor_elites = [
+                EliteSet(self.total, self.config.n_elite, owner=i)
+                for i in range(self.config.n_actors)
+            ]
+        self._executor = SimulationExecutor(
+            task, n_workers=self.config.n_actors if self.config.parallel else 0
+        )
+        self._round = 0
+        self._records: list[EvaluationRecord] = []
+        self._init_best_fom = np.inf
+        self._initialized = False
+        self._t0: float | None = None
+        # Per-round research diagnostics (critic loss, elite-box width, ...)
+        self.diagnostics: list[dict] = []
+
+    # -- initialization ------------------------------------------------------
+    def initialize(self, n_init: int = 100,
+                   x_init: np.ndarray | None = None,
+                   f_init: np.ndarray | None = None) -> None:
+        """Load or simulate the initial sample set X^init.
+
+        Passing the same ``(x_init, f_init)`` arrays to several optimizers
+        reproduces the paper's shared-initial-set protocol.
+        """
+        if self._initialized:
+            raise RuntimeError("optimizer already initialized")
+        if x_init is None:
+            x_init = self.task.space.sample(self.rng, n_init)
+            f_init = None
+        x_init = np.atleast_2d(np.asarray(x_init, dtype=float))
+        if f_init is None:
+            f_init = self._executor.evaluate_batch(x_init)
+        f_init = np.atleast_2d(np.asarray(f_init, dtype=float))
+        if len(f_init) != len(x_init):
+            raise ValueError("x_init and f_init lengths differ")
+        for x, f in zip(x_init, f_init):
+            g = float(self.fom(f))
+            self.total.add(x, f, g, owner=None)
+            self._init_best_fom = min(self._init_best_fom, g)
+        self._initialized = True
+
+    # -- single round ----------------------------------------------------------
+    def _specs_met(self) -> bool:
+        metrics = self.total.metrics
+        if len(metrics) == 0:
+            return False
+        return bool(np.any(self.fom.is_feasible(metrics)))
+
+    def _record(self, x: np.ndarray, metrics: np.ndarray, kind: str,
+                owner: int | None) -> EvaluationRecord:
+        g = float(self.fom(metrics))
+        self.total.add(x, metrics, g, owner=owner)
+        if self._t0 is None:
+            self._t0 = time.perf_counter()
+        rec = EvaluationRecord(
+            index=len(self._records), x=np.asarray(x, dtype=float).copy(),
+            metrics=np.asarray(metrics, dtype=float).copy(), fom=g, kind=kind,
+            owner=owner, feasible=self.task.is_feasible(metrics),
+            t_wall=time.perf_counter() - self._t0,
+        )
+        self._records.append(rec)
+        return rec
+
+    def optimization_round(self, budget: int | None = None
+                           ) -> list[EvaluationRecord]:
+        """Alg. 1: critic + actor training, then one proposal per actor."""
+        cfg = self.config
+        n_propose = cfg.n_actors if budget is None else min(cfg.n_actors, budget)
+        critic_steps = cfg.critic_steps * (
+            n_propose if cfg.scale_training_with_actors else 1)
+        critic_loss = train_critic(self.critic, self.total, critic_steps,
+                                   cfg.batch_size, self.rng)
+        actor_losses: list[float] = []
+        proposals: list[tuple[int, np.ndarray]] = []
+        for i in range(n_propose):
+            actor_losses.append(train_actor(
+                self.actors[i], self.critic, self.fom, self.total,
+                self.actor_elites[i], cfg.actor_steps, cfg.batch_size,
+                cfg.lambda_viol, self.rng,
+                train_on=cfg.actor_train_on))
+            proposal = propose_design(self.actors[i], self.critic, self.fom,
+                                      self.actor_elites[i],
+                                      exclude=[p for _, p in proposals],
+                                      min_dist=cfg.proposal_min_dist,
+                                      ucb_beta=cfg.ucb_beta)
+            if cfg.proposal_noise > 0:
+                proposal = np.clip(
+                    proposal + self.rng.normal(0.0, cfg.proposal_noise,
+                                               size=proposal.shape),
+                    0.0, 1.0,
+                )
+            proposals.append((i, proposal))
+        designs = np.array([p[1] for p in proposals])
+        metrics = self._executor.evaluate_batch(designs)
+        records = [
+            self._record(x, f, kind="actor", owner=i)
+            for (i, x), f in zip(proposals, metrics)
+        ]
+        lb, ub = self.global_elite.bounds()
+        self.diagnostics.append({
+            "round": self._round,
+            "kind": "actor",
+            "critic_loss": critic_loss,
+            "actor_losses": actor_losses,
+            "elite_box_width": float(np.mean(ub - lb)),
+            "best_fom": float(self.total.foms.min()),
+        })
+        return records
+
+    def near_sampling_round(self) -> EvaluationRecord:
+        """Alg. 2: simulate the critic-predicted best near-neighbour of the
+        incumbent best design."""
+        x_opt, _ = self.global_elite.best()
+        candidate = near_sampling_proposal(
+            self.critic, self.fom, x_opt, self.config.ns_radius,
+            self.config.ns_samples, self.rng,
+            margin=self.config.ns_margin,
+        )
+        metrics = self.task.evaluate(candidate)
+        record = self._record(candidate, metrics, kind="ns", owner=None)
+        self.diagnostics.append({
+            "round": self._round,
+            "kind": "ns",
+            "improved": bool(record.fom < self.total.foms[:-1].min()),
+            "best_fom": float(self.total.foms.min()),
+        })
+        return record
+
+    def step(self, budget: int | None = None) -> list[EvaluationRecord]:
+        """One Alg. 3 round; returns the new evaluation records."""
+        if not self._initialized:
+            raise RuntimeError("call initialize() first")
+        self._round += 1
+        use_ns = (
+            self.config.near_sampling
+            and self._specs_met()
+            and self._round % self.config.t_ns == self.config.ns_phase
+        )
+        if use_ns:
+            return [self.near_sampling_round()]
+        return self.optimization_round(budget=budget)
+
+    # -- full run -----------------------------------------------------------
+    def run(self, n_sims: int = 200, n_init: int = 100,
+            x_init: np.ndarray | None = None,
+            f_init: np.ndarray | None = None,
+            method_name: str | None = None) -> OptimizationResult:
+        """Alg. 3: run until ``n_sims`` post-init simulations are spent."""
+        start = time.perf_counter()
+        if not self._initialized:
+            self.initialize(n_init=n_init, x_init=x_init, f_init=f_init)
+        while len(self._records) < n_sims:
+            self.step(budget=n_sims - len(self._records))
+        self._executor.close()
+        return OptimizationResult(
+            task_name=self.task.name,
+            method=method_name or self._default_name(),
+            records=list(self._records),
+            init_best_fom=self._init_best_fom,
+            wall_time_s=time.perf_counter() - start,
+            meta={"rounds": self._round, "config": self.config,
+                  "diagnostics": self.diagnostics},
+        )
+
+    def _default_name(self) -> str:
+        cfg = self.config
+        if cfg.n_actors == 1 and not cfg.near_sampling:
+            return "DNN-Opt"
+        if not cfg.shared_elite:
+            return "MA-Opt1"
+        if not cfg.near_sampling:
+            return "MA-Opt2"
+        return "MA-Opt"

@@ -1,0 +1,76 @@
+"""Parallel simulation of actor proposals (Section II-B).
+
+The paper runs the per-actor SPICE simulations over ``N_act`` CPU cores via
+multiprocessing.  :class:`SimulationExecutor` reproduces that: with
+``n_workers > 0`` a process pool evaluates design batches concurrently;
+with ``n_workers = 0`` it degrades to a serial loop (the default for tests
+and benches, where determinism and low overhead matter more).
+
+The task object must be picklable for the parallel path — all tasks in
+:mod:`repro.circuits` and :mod:`repro.core.synthetic` are.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.core.problem import SizingTask
+
+# Module-level slot for pool workers (set by the initializer so the task is
+# shipped once per worker instead of once per design).
+_WORKER_TASK: SizingTask | None = None
+
+
+def _init_worker(task: SizingTask) -> None:
+    global _WORKER_TASK
+    _WORKER_TASK = task
+
+
+def _evaluate_one(u: np.ndarray) -> np.ndarray:
+    if _WORKER_TASK is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker not initialized")
+    return _WORKER_TASK.evaluate(u)
+
+
+class SimulationExecutor:
+    """Evaluates design batches, serially or over a process pool."""
+
+    def __init__(self, task: SizingTask, n_workers: int = 0) -> None:
+        if n_workers < 0:
+            raise ValueError("n_workers must be >= 0")
+        self.task = task
+        self.n_workers = n_workers
+        self._pool: mp.pool.Pool | None = None
+
+    def _ensure_pool(self) -> mp.pool.Pool:
+        if self._pool is None:
+            ctx = mp.get_context("spawn")
+            self._pool = ctx.Pool(
+                processes=self.n_workers,
+                initializer=_init_worker,
+                initargs=(self.task,),
+            )
+        return self._pool
+
+    def evaluate_batch(self, designs: np.ndarray) -> np.ndarray:
+        """Metric vectors for a batch of normalized designs, shape (n, m+1)."""
+        designs = np.atleast_2d(np.asarray(designs, dtype=float))
+        if self.n_workers == 0 or len(designs) == 1:
+            return np.stack([self.task.evaluate(u) for u in designs])
+        pool = self._ensure_pool()
+        return np.stack(pool.map(_evaluate_one, list(designs)))
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC path
+        try:
+            self.close()
+        except Exception:
+            pass

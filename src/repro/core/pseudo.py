@@ -1,0 +1,79 @@
+"""Pseudo-sample generation — Eq. 3 of the paper.
+
+From any two simulated designs x_i, x_j the pair
+
+    x_ij^ps = (x_i, x_j - x_i),    f^ps(x_ij^ps) = f(x_j)
+
+is a valid training sample for the critic: "starting at x_i and applying
+action x_j - x_i lands on metrics f(x_j)".  N simulated designs therefore
+yield N^2 critic training samples for free — the population-based trick
+MA-Opt inherits from DNN-Opt.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.population import TotalDesignSet
+
+
+def pseudo_sample_batch(
+    total: TotalDesignSet,
+    batch_size: int,
+    rng: np.random.Generator,
+    include_identity_fraction: float = 0.1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw a random batch of pseudo-samples from X^tot.
+
+    Returns ``(inputs, targets)`` where inputs has shape
+    ``(batch_size, 2d)`` — each row is ``concat(x_i, x_j - x_i)`` — and
+    targets has shape ``(batch_size, m+1)`` holding ``f(x_j)``.
+
+    ``include_identity_fraction`` forces that share of pairs to use i == j
+    (zero action), anchoring the critic at "no change keeps the metrics".
+    """
+    n = len(total)
+    if n < 1:
+        raise ValueError("cannot draw pseudo-samples from an empty set")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if not 0.0 <= include_identity_fraction <= 1.0:
+        raise ValueError("include_identity_fraction must be in [0, 1]")
+    designs = total.designs
+    metrics = total.metrics
+    i_idx = rng.integers(0, n, size=batch_size)
+    j_idx = rng.integers(0, n, size=batch_size)
+    n_identity = int(round(include_identity_fraction * batch_size))
+    if n_identity:
+        j_idx[:n_identity] = i_idx[:n_identity]
+    xi = designs[i_idx]
+    xj = designs[j_idx]
+    inputs = np.concatenate([xi, xj - xi], axis=1)
+    targets = metrics[j_idx]
+    return inputs, targets
+
+
+def all_pseudo_samples(total: TotalDesignSet,
+                       max_pairs: int | None = None,
+                       rng: np.random.Generator | None = None
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize the full N^2 pseudo-sample set (or a random subset).
+
+    Useful for offline critic fitting and for tests; training normally uses
+    :func:`pseudo_sample_batch` instead.
+    """
+    n = len(total)
+    if n < 1:
+        raise ValueError("cannot build pseudo-samples from an empty set")
+    designs = total.designs
+    metrics = total.metrics
+    ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    ii, jj = ii.ravel(), jj.ravel()
+    if max_pairs is not None and ii.size > max_pairs:
+        if rng is None:
+            rng = np.random.default_rng()
+        keep = rng.choice(ii.size, size=max_pairs, replace=False)
+        ii, jj = ii[keep], jj[keep]
+    xi = designs[ii]
+    xj = designs[jj]
+    return np.concatenate([xi, xj - xi], axis=1), metrics[jj]

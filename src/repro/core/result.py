@@ -1,0 +1,109 @@
+"""Optimization run records and results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class EvaluationRecord:
+    """One simulated design with provenance.
+
+    ``kind`` is ``"init"`` (initial sample), ``"actor"`` (Alg. 1 proposal),
+    ``"ns"`` (near-sampling proposal), or a baseline-specific tag.
+    ``owner`` is the proposing actor's index where applicable.
+    """
+
+    index: int
+    x: np.ndarray
+    metrics: np.ndarray
+    fom: float
+    kind: str = "init"
+    owner: int | None = None
+    feasible: bool = False
+    t_wall: float = 0.0   # seconds since the run's first post-init sim
+
+
+@dataclass
+class OptimizationResult:
+    """Full history of one optimization run.
+
+    ``records`` excludes the shared initial set unless ``include_init`` was
+    requested; by paper convention the "number of simulations" budget counts
+    only post-initialization simulations, while FoM traces start from the
+    initial set's best.
+    """
+
+    task_name: str
+    method: str
+    records: list[EvaluationRecord] = field(default_factory=list)
+    init_best_fom: float = np.inf
+    wall_time_s: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n_sims(self) -> int:
+        """Simulations consumed after initialization."""
+        return len(self.records)
+
+    @property
+    def foms(self) -> np.ndarray:
+        return np.array([r.fom for r in self.records])
+
+    @property
+    def best_fom(self) -> float:
+        if not self.records:
+            return self.init_best_fom
+        return min(self.init_best_fom, float(np.min(self.foms)))
+
+    def best_fom_trace(self) -> np.ndarray:
+        """Best-so-far FoM after each simulation (length n_sims + 1; entry 0
+        is the initial set's best) — the series behind the paper's Fig. 5."""
+        trace = np.empty(len(self.records) + 1)
+        best = self.init_best_fom
+        trace[0] = best
+        for i, rec in enumerate(self.records):
+            best = min(best, rec.fom)
+            trace[i + 1] = best
+        return trace
+
+    @property
+    def success(self) -> bool:
+        """True when any simulated design met all constraints."""
+        return any(r.feasible for r in self.records)
+
+    def best_feasible(self) -> EvaluationRecord | None:
+        """The feasible record with the lowest target metric (column 0)."""
+        feas = [r for r in self.records if r.feasible]
+        if not feas:
+            return None
+        return min(feas, key=lambda r: r.metrics[0])
+
+    def best_record(self) -> EvaluationRecord | None:
+        """The record with the lowest FoM regardless of feasibility."""
+        if not self.records:
+            return None
+        return min(self.records, key=lambda r: r.fom)
+
+    def fom_vs_runtime(self) -> tuple[np.ndarray, np.ndarray]:
+        """(wall-clock seconds, best-so-far FoM) pairs — the paper's
+        runtime-fair comparison axis (Section III-A compares average FoMs
+        "based on the total runtime of DNN-Opt")."""
+        times = np.array([r.t_wall for r in self.records])
+        trace = self.best_fom_trace()[1:]
+        return times, trace
+
+    def summary(self) -> dict:
+        """Compact dict used by the experiment tables."""
+        bf = self.best_feasible()
+        return {
+            "task": self.task_name,
+            "method": self.method,
+            "n_sims": self.n_sims,
+            "success": self.success,
+            "best_fom": self.best_fom,
+            "best_feasible_target": None if bf is None else float(bf.metrics[0]),
+            "wall_time_s": self.wall_time_s,
+        }

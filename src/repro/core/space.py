@@ -1,0 +1,126 @@
+"""Design space: named, bounded, possibly-integer parameters.
+
+Optimizers operate in the normalized unit hypercube ``[0, 1]^d`` (as
+DNN-Opt/MA-Opt do); :meth:`DesignSpace.denormalize` maps back to physical
+values, rounding integer parameters at that boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One design variable.
+
+    Attributes
+    ----------
+    name: identifier (e.g. ``"W1"``).
+    low / high: physical bounds (inclusive).
+    integer: round to the nearest integer when denormalizing (the paper's
+        N1..N3 multipliers).
+    unit: documentation-only unit string.
+    """
+
+    name: str
+    low: float
+    high: float
+    integer: bool = False
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("parameter needs a name")
+        if not self.low < self.high:
+            raise ValueError(f"parameter {self.name}: need low < high")
+
+    def denormalize(self, u: float) -> float:
+        """Map u in [0,1] to a physical value."""
+        x = self.low + float(u) * (self.high - self.low)
+        if self.integer:
+            x = float(np.clip(round(x), np.ceil(self.low), np.floor(self.high)))
+        return x
+
+    def normalize(self, x: float) -> float:
+        """Map a physical value to [0,1]."""
+        return (float(x) - self.low) / (self.high - self.low)
+
+
+class DesignSpace:
+    """An ordered collection of :class:`Parameter`."""
+
+    def __init__(self, parameters: list[Parameter]) -> None:
+        if not parameters:
+            raise ValueError("design space needs at least one parameter")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate parameter names")
+        self.parameters = list(parameters)
+        self._index = {p.name: i for i, p in enumerate(parameters)}
+
+    @property
+    def d(self) -> int:
+        """Dimensionality (the paper's ``d``)."""
+        return len(self.parameters)
+
+    @property
+    def names(self) -> list[str]:
+        return [p.name for p in self.parameters]
+
+    def __iter__(self):
+        return iter(self.parameters)
+
+    def __getitem__(self, name: str) -> Parameter:
+        return self.parameters[self._index[name]]
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Uniform samples in the unit cube, shape (n, d)."""
+        if n < 1:
+            raise ValueError("need n >= 1")
+        return rng.uniform(0.0, 1.0, size=(n, self.d))
+
+    def clip(self, u: np.ndarray) -> np.ndarray:
+        """Clip normalized designs into [0, 1]."""
+        return np.clip(np.asarray(u, dtype=float), 0.0, 1.0)
+
+    def denormalize(self, u: np.ndarray) -> dict[str, float]:
+        """Map one normalized design vector to a name -> value dict."""
+        u = np.asarray(u, dtype=float).ravel()
+        if u.shape != (self.d,):
+            raise ValueError(f"expected shape ({self.d},), got {u.shape}")
+        return {
+            p.name: p.denormalize(ui) for p, ui in zip(self.parameters, u)
+        }
+
+    def denormalize_array(self, u: np.ndarray) -> np.ndarray:
+        """Vectorized denormalization preserving order, shape (n, d)."""
+        u = np.atleast_2d(np.asarray(u, dtype=float))
+        out = np.empty_like(u)
+        for j, p in enumerate(self.parameters):
+            col = p.low + u[:, j] * (p.high - p.low)
+            if p.integer:
+                col = np.clip(np.round(col), np.ceil(p.low), np.floor(p.high))
+            out[:, j] = col
+        return out
+
+    def normalize(self, values: dict[str, float]) -> np.ndarray:
+        """Map a name -> physical value dict to a normalized vector."""
+        u = np.empty(self.d)
+        for i, p in enumerate(self.parameters):
+            if p.name not in values:
+                raise KeyError(f"missing parameter {p.name!r}")
+            u[i] = p.normalize(values[p.name])
+        return u
+
+    def table(self) -> list[tuple[str, str, str]]:
+        """(name, unit, range) rows — regenerates the paper's Tables I/III/V."""
+        rows = []
+        for p in self.parameters:
+            lo = int(p.low) if p.integer else p.low
+            hi = int(p.high) if p.integer else p.high
+            rows.append((p.name, p.unit or ("integer" if p.integer else "-"),
+                         f"[{lo:g}, {hi:g}]"))
+        return rows

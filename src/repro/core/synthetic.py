@@ -1,0 +1,107 @@
+"""Synthetic sizing tasks: cheap analytic stand-ins for circuit tasks.
+
+These exercise the full optimizer code path (constraints, FoM, critic,
+actors, near-sampling) in microseconds per evaluation, which the test suite
+and quick demos rely on.  They follow the same Eq. 1 shape as the circuit
+tasks: minimize a target subject to ``>``/``<`` specs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import SizingTask, Spec, Target
+from repro.core.space import DesignSpace, Parameter
+
+
+class ConstrainedSphere(SizingTask):
+    """Minimize ||x - a||^2 subject to a minimum "gain" and a maximum "power".
+
+    * target  ``loss = ||x - a||^2``  (optimum at x = a, loss 0)
+    * ``gain = 20 * (1 - ||x - b|| / sqrt(d))`` must exceed ``gain_min``
+      (pulls designs toward b)
+    * ``power = mean(x)`` must stay below ``power_max``
+
+    ``a`` and ``b`` are distinct random-but-fixed anchors, so the feasible
+    optimum is a genuine compromise, as in circuit sizing.
+    """
+
+    def __init__(self, d: int = 8, seed: int = 0, gain_min: float = 10.0,
+                 power_max: float = 0.6) -> None:
+        self.name = f"sphere{d}"
+        rng = np.random.default_rng(seed)
+        self._a = rng.uniform(0.3, 0.7, size=d)
+        self._b = np.clip(self._a + rng.uniform(-0.2, 0.2, size=d), 0.05, 0.95)
+        self.space = DesignSpace(
+            [Parameter(f"x{i}", 0.0, 1.0) for i in range(d)]
+        )
+        self.target = Target("loss", weight=1.0, fail_value=float(d))
+        self.specs = [
+            Spec("gain", ">", gain_min),
+            Spec("power", "<", power_max),
+        ]
+
+    def simulate(self, u: np.ndarray) -> dict[str, float]:
+        u = np.asarray(u, dtype=float)
+        d = u.size
+        loss = float(np.sum((u - self._a) ** 2))
+        gain = 20.0 * (1.0 - np.linalg.norm(u - self._b) / np.sqrt(d))
+        power = float(np.mean(u))
+        return {"loss": loss, "gain": gain, "power": power}
+
+
+class QuadraticAmplifierToy(SizingTask):
+    """A 2-D toy with amplifier-flavoured trade-offs, handy for plots.
+
+    ``x = (w, i)``: device width and bias current, both normalized.
+
+    * power  = i (minimize)
+    * gain   = 40 + 30*w - 25*i   must exceed 55 "dB"
+    * bw     = 10 + 80*i*(0.3+w)  must exceed 30 "MHz"
+
+    Low power wants small i; gain wants big w and small i; bandwidth wants
+    big i — a miniature of the OTA's power/gain/speed triangle.
+    """
+
+    def __init__(self) -> None:
+        self.name = "toyamp"
+        self.space = DesignSpace([
+            Parameter("w", 0.0, 1.0),
+            Parameter("i", 0.0, 1.0),
+        ])
+        self.target = Target("power", weight=1.0, fail_value=2.0)
+        self.specs = [
+            Spec("gain", ">", 55.0),
+            Spec("bw", ">", 30.0),
+        ]
+
+    def simulate(self, u: np.ndarray) -> dict[str, float]:
+        w, i = float(u[0]), float(u[1])
+        return {
+            "power": i,
+            "gain": 40.0 + 30.0 * w - 25.0 * i,
+            "bw": 10.0 + 80.0 * i * (0.3 + w),
+        }
+
+
+class NoisyConstrainedSphere(ConstrainedSphere):
+    """ConstrainedSphere with Gaussian measurement noise — stresses the
+    critic's robustness the way simulator tolerance scatter would."""
+
+    def __init__(self, d: int = 8, seed: int = 0, noise: float = 0.02,
+                 **kwargs) -> None:
+        super().__init__(d=d, seed=seed, **kwargs)
+        self.name = f"noisysphere{d}"
+        self._noise_rng = np.random.default_rng(seed + 12345)
+        self._noise = noise
+
+    def simulate(self, u: np.ndarray) -> dict[str, float]:
+        metrics = super().simulate(u)
+        return {
+            key: value * (1.0 + self._noise_rng.normal(0.0, self._noise))
+            for key, value in metrics.items()
+        }
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        return state

@@ -1,0 +1,31 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+* :mod:`repro.experiments.runner` — the shared-initial-set protocol, the
+  method registry (BO, DNN-Opt, MA-Opt1, MA-Opt2, MA-Opt, plus extras) and
+  multi-run comparisons.
+* :mod:`repro.experiments.tables` — Tables I-VI formatting.
+* :mod:`repro.experiments.figures` — Fig. 5 convergence series.
+* :mod:`repro.experiments.config` — bench scaling knobs (environment
+  variables documented in DESIGN.md).
+"""
+
+from repro.experiments.config import BenchConfig
+from repro.experiments.runner import (
+    METHOD_NAMES,
+    make_initial_set,
+    run_comparison,
+    run_method,
+)
+from repro.experiments.tables import comparison_table, parameter_table
+from repro.experiments.figures import fom_curves
+
+__all__ = [
+    "BenchConfig",
+    "METHOD_NAMES",
+    "make_initial_set",
+    "run_method",
+    "run_comparison",
+    "comparison_table",
+    "parameter_table",
+    "fom_curves",
+]

@@ -1,0 +1,103 @@
+"""Fig. 5 series: log10 average best-so-far FoM vs simulation count."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import OptimizationResult
+
+
+def fom_curves(results: dict[str, list[OptimizationResult]]
+               ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Per-method (simulation index, log10 mean best-so-far FoM) series.
+
+    The paper's Fig. 5 plots the run-averaged best FoM on a log scale; the
+    x axis here is the post-initialization simulation index (0 = the
+    initial set's best).
+    """
+    curves: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for method, runs in results.items():
+        if not runs:
+            continue
+        length = min(r.n_sims for r in runs) + 1
+        traces = np.stack([r.best_fom_trace()[:length] for r in runs])
+        mean = traces.mean(axis=0)
+        curves[method] = (np.arange(length),
+                          np.log10(np.maximum(mean, 1e-300)))
+    return curves
+
+
+def fom_vs_runtime_curves(results: dict[str, list[OptimizationResult]],
+                          n_points: int = 50
+                          ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Per-method (wall seconds, log10 mean best-so-far FoM) series.
+
+    This is the paper's runtime-fair view (Section III-A compares average
+    FoMs "based on the total runtime of DNN-Opt"): methods with cheaper
+    rounds show more progress per second.  Run curves are resampled onto a
+    common time grid (forward-filled) before averaging.
+    """
+    curves: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for method, runs in results.items():
+        if not runs:
+            continue
+        t_end = min((r.records[-1].t_wall if r.records else 0.0)
+                    for r in runs)
+        if t_end <= 0:
+            continue
+        grid = np.linspace(0.0, t_end, n_points)
+        traces = []
+        for r in runs:
+            times, best = r.fom_vs_runtime()
+            idx = np.searchsorted(times, grid, side="right") - 1
+            vals = np.where(idx >= 0, best[np.maximum(idx, 0)],
+                            r.init_best_fom)
+            traces.append(vals)
+        mean = np.mean(traces, axis=0)
+        curves[method] = (grid, np.log10(np.maximum(mean, 1e-300)))
+    return curves
+
+
+def render_ascii(curves: dict[str, tuple[np.ndarray, np.ndarray]],
+                 width: int = 64, height: int = 16,
+                 title: str = "") -> str:
+    """Plot the Fig. 5 series as ASCII art (keeps the repo plot-library
+    free; examples can dump the raw series to CSV for external plotting)."""
+    if not curves:
+        return "(no data)"
+    all_y = np.concatenate([y for _, y in curves.values()])
+    y_lo, y_hi = float(np.min(all_y)), float(np.max(all_y))
+    if y_hi - y_lo < 1e-9:
+        y_hi = y_lo + 1.0
+    x_max = max(float(x[-1]) for x, _ in curves.values())
+    x_span = x_max if x_max > 0 else 1.0
+    grid = [[" "] * width for _ in range(height)]
+    marks = "abcdefgh"
+    legend = []
+    for (method, (x, y)), mark in zip(curves.items(), marks):
+        legend.append(f"  {mark} = {method}")
+        for xi, yi in zip(x, y):
+            col = min(width - 1, max(0, int(xi / x_span * (width - 1))))
+            row = min(height - 1,
+                      max(0, int((y_hi - yi) / (y_hi - y_lo) * (height - 1))))
+            grid[row][col] = mark
+    lines = [title] if title else []
+    lines.append(f"log10(avg FoM)  top={y_hi:.2f}  bottom={y_lo:.2f}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width + f"> x (0..{x_max:g})")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def curves_to_csv(curves: dict[str, tuple[np.ndarray, np.ndarray]]) -> str:
+    """Serialize Fig. 5 series as CSV (sim index + one column per method)."""
+    if not curves:
+        return ""
+    methods = list(curves)
+    length = min(len(x) for x, _ in curves.values())
+    header = "sim," + ",".join(methods)
+    rows = [header]
+    for i in range(length):
+        vals = ",".join(f"{curves[m][1][i]:.6f}" for m in methods)
+        rows.append(f"{int(curves[methods[0]][0][i])},{vals}")
+    return "\n".join(rows)

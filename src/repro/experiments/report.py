@@ -1,0 +1,96 @@
+"""Assemble the bench artifacts into one markdown report.
+
+After ``pytest benchmarks/ --benchmark-only`` has populated
+``benchmarks/results/``, :func:`build_report` stitches every table, curve
+preview and ablation into a single ``REPORT.md``-style document — the
+one-file summary you attach to a reproduction review.
+
+Usage::
+
+    python -m repro.experiments.report [results_dir] [output.md]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+SECTIONS: list[tuple[str, list[tuple[str, str]]]] = [
+    ("Design-parameter tables (paper Tables I / III / V)", [
+        ("Two-stage OTA", "table1_ota_params.txt"),
+        ("Three-stage TIA", "table3_tia_params.txt"),
+        ("LDO regulator", "table5_ldo_params.txt"),
+    ]),
+    ("Algorithm comparisons (paper Tables II / IV / VI)", [
+        ("Two-stage OTA", "table2_ota_comparison.txt"),
+        ("Three-stage TIA", "table4_tia_comparison.txt"),
+        ("LDO regulator", "table6_ldo_comparison.txt"),
+    ]),
+    ("FoM convergence (paper Fig. 5)", [
+        ("OTA", "figure5_ota_ascii.txt"),
+        ("TIA", "figure5_tia_ascii.txt"),
+        ("LDO", "figure5_ldo_ascii.txt"),
+    ]),
+    ("Runtime-fair comparison (Section III-A normalization)", [
+        ("OTA vs wall-clock", "runtime_ota_ascii.txt"),
+        ("FoM at DNN-Opt's runtime", "runtime_ota_at_ref.txt"),
+    ]),
+    ("Ablations", [
+        ("Shared vs individual elite sets (Fig. 2)",
+         "ablation_elite_sharing.txt"),
+        ("Number of actors", "ablation_num_actors.txt"),
+        ("Near-sampling (Alg. 2)", "ablation_near_sampling.txt"),
+        ("Pseudo-samples (Eq. 3)", "ablation_pseudo_samples.txt"),
+        ("Multiple critics", "ablation_multi_critic.txt"),
+    ]),
+]
+
+
+def build_report(results_dir: str | pathlib.Path,
+                 output: str | pathlib.Path | None = None) -> str:
+    """Return (and optionally write) the assembled markdown report."""
+    results_dir = pathlib.Path(results_dir)
+    lines = [
+        "# MA-Opt reproduction — bench report",
+        "",
+        "Generated from `benchmarks/results/`. Protocol knobs: see",
+        "`repro.experiments.config.BenchConfig` (MAOPT_BENCH_* env vars).",
+        "",
+    ]
+    missing: list[str] = []
+    for title, items in SECTIONS:
+        lines.append(f"## {title}")
+        lines.append("")
+        for label, fname in items:
+            path = results_dir / fname
+            lines.append(f"### {label}")
+            lines.append("")
+            if path.exists():
+                lines.append("```")
+                lines.append(path.read_text().rstrip())
+                lines.append("```")
+            else:
+                missing.append(fname)
+                lines.append(f"*(missing — run the bench that writes "
+                             f"`{fname}`)*")
+            lines.append("")
+    if missing:
+        lines.append(f"> {len(missing)} artifact(s) missing: "
+                     + ", ".join(missing))
+    text = "\n".join(lines)
+    if output is not None:
+        pathlib.Path(output).write_text(text)
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    results = argv[0] if argv else "benchmarks/results"
+    output = argv[1] if len(argv) > 1 else "REPORT.md"
+    build_report(results, output)
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""Method registry and the paper's multi-run comparison protocol.
+
+Protocol (Section III-A): for each circuit and each repeat, one initial set
+of ``n_init`` random designs is simulated once and *shared by every
+method*; each method then spends the same ``n_sims`` simulation budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import (
+    BayesOpt,
+    DifferentialEvolution,
+    ParticleSwarm,
+    PPOSizer,
+    RandomSearch,
+)
+from repro.core.config import MAOptConfig, VariantPreset
+from repro.core.ma_opt import MAOptimizer
+from repro.core.problem import SizingTask
+from repro.core.result import OptimizationResult
+
+METHOD_NAMES = [
+    "BO", "DNN-Opt", "MA-Opt1", "MA-Opt2", "MA-Opt",
+    "Random", "PSO", "DE", "PPO",
+]
+
+_PRESETS = {
+    "DNN-Opt": VariantPreset.DNN_OPT,
+    "MA-Opt1": VariantPreset.MA_OPT_1,
+    "MA-Opt2": VariantPreset.MA_OPT_2,
+    "MA-Opt": VariantPreset.MA_OPT,
+}
+
+_BASELINES = {
+    "BO": BayesOpt,
+    "Random": RandomSearch,
+    "PSO": ParticleSwarm,
+    "DE": DifferentialEvolution,
+    "PPO": PPOSizer,
+}
+
+
+def make_initial_set(task: SizingTask, n_init: int,
+                     seed: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Sample and simulate the shared initial set X^init."""
+    rng = np.random.default_rng(seed)
+    x_init = task.space.sample(rng, n_init)
+    f_init = task.evaluate_batch(x_init)
+    return x_init, f_init
+
+
+def run_method(method: str, task: SizingTask, n_sims: int,
+               x_init: np.ndarray, f_init: np.ndarray,
+               seed: int | None = None,
+               maopt_overrides: dict | None = None) -> OptimizationResult:
+    """Run one named method under the shared-initial-set protocol."""
+    if method in _PRESETS:
+        cfg = MAOptConfig.from_preset(_PRESETS[method], seed=seed,
+                                      **(maopt_overrides or {}))
+        opt = MAOptimizer(task, cfg)
+        return opt.run(n_sims=n_sims, x_init=x_init, f_init=f_init,
+                       method_name=method)
+    if method in _BASELINES:
+        opt = _BASELINES[method](task, seed=seed)
+        return opt.run(n_sims=n_sims, x_init=x_init, f_init=f_init)
+    raise ValueError(f"unknown method {method!r}; options: {METHOD_NAMES}")
+
+
+def run_comparison(task: SizingTask, methods: list[str] | tuple[str, ...],
+                   n_runs: int, n_sims: int, n_init: int,
+                   seed: int = 0,
+                   maopt_overrides: dict | None = None,
+                   verbose: bool = False
+                   ) -> dict[str, list[OptimizationResult]]:
+    """The full Table II/IV/VI experiment for one circuit.
+
+    Returns method -> list of per-repeat results.  Repeat ``r`` uses the
+    same initial set for every method (seeded by ``seed + r``).
+    """
+    results: dict[str, list[OptimizationResult]] = {m: [] for m in methods}
+    for r in range(n_runs):
+        run_seed = seed + r
+        x_init, f_init = make_initial_set(task, n_init, seed=run_seed)
+        for method in methods:
+            res = run_method(method, task, n_sims, x_init, f_init,
+                             seed=run_seed * 1000 + 7,
+                             maopt_overrides=maopt_overrides)
+            results[method].append(res)
+            if verbose:
+                bf = res.best_feasible()
+                print(f"[run {r}] {method:8s} best_fom={res.best_fom:.4g} "
+                      f"success={res.success} "
+                      f"target={'-' if bf is None else f'{bf.metrics[0]:.4g}'} "
+                      f"time={res.wall_time_s:.1f}s")
+    return results

@@ -1,0 +1,193 @@
+"""Layers with explicit forward/backward passes.
+
+Every layer caches what it needs during :meth:`forward` and consumes the
+cache in :meth:`backward`.  Parameters are exposed as :class:`Parameter`
+objects (value + grad) so optimizers can update them in place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import get_initializer
+
+
+class Parameter:
+    """A trainable array together with its accumulated gradient."""
+
+    __slots__ = ("value", "grad", "name")
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=float)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple:
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"
+
+
+class Module:
+    """Base class: a differentiable map with (possibly zero) parameters."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Propagate ``dL/d(output)`` to ``dL/d(input)``, accumulating
+        parameter gradients along the way."""
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        return []
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` for batched row-vector inputs."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+        weight_init: str = "glorot_uniform",
+        name: str = "linear",
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("layer sizes must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        init = get_initializer(weight_init)
+        self.weight = Parameter(init(in_features, out_features, rng), f"{name}.W")
+        self.bias = Parameter(np.zeros(out_features), f"{name}.b")
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self._x = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        grad_out = np.atleast_2d(grad_out)
+        self.weight.grad += self._x.T @ grad_out
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation."""
+
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * (1.0 - self._y**2)
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0.0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._mask
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        if negative_slope < 0:
+            raise ValueError("negative_slope must be >= 0")
+        self.negative_slope = negative_slope
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0.0
+        return np.where(self._mask, x, self.negative_slope * x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * np.where(self._mask, 1.0, self.negative_slope)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid activation."""
+
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # Numerically stable piecewise evaluation.
+        out = np.empty_like(np.asarray(x, dtype=float))
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        self._y = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._y * (1.0 - self._y)
+
+
+class Identity(Module):
+    """No-op activation (for linear output layers)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=float)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+ACTIVATIONS = {
+    "tanh": Tanh,
+    "relu": ReLU,
+    "leaky_relu": LeakyReLU,
+    "sigmoid": Sigmoid,
+    "identity": Identity,
+}
+
+
+def make_activation(name: str) -> Module:
+    """Instantiate an activation by name."""
+    try:
+        return ACTIVATIONS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown activation {name!r}; options: {sorted(ACTIVATIONS)}"
+        ) from None

@@ -1,0 +1,51 @@
+"""Loss functions returning ``(value, grad_wrt_prediction)`` pairs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error over all elements (Eq. 4 of the paper).
+
+    The paper normalizes by ``N_b * (m + 1)``, i.e. by the total element
+    count, which is exactly ``np.mean`` over the batch-by-metric matrix.
+    """
+    pred = np.atleast_2d(pred)
+    target = np.atleast_2d(target)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    diff = pred - target
+    value = float(np.mean(diff**2))
+    grad = (2.0 / diff.size) * diff
+    return value, grad
+
+
+def mae_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean absolute error (robust alternative for noisy metrics)."""
+    pred = np.atleast_2d(pred)
+    target = np.atleast_2d(target)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    diff = pred - target
+    value = float(np.mean(np.abs(diff)))
+    grad = np.sign(diff) / diff.size
+    return value, grad
+
+
+def huber_loss(
+    pred: np.ndarray, target: np.ndarray, delta: float = 1.0
+) -> tuple[float, np.ndarray]:
+    """Huber loss: quadratic near zero, linear in the tails."""
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    pred = np.atleast_2d(pred)
+    target = np.atleast_2d(target)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    diff = pred - target
+    absd = np.abs(diff)
+    quad = absd <= delta
+    vals = np.where(quad, 0.5 * diff**2, delta * (absd - 0.5 * delta))
+    grads = np.where(quad, diff, delta * np.sign(diff))
+    return float(np.mean(vals)), grads / diff.size

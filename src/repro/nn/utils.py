@@ -1,0 +1,38 @@
+"""Utilities for :mod:`repro.nn` — notably finite-difference grad checks."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.mlp import MLP
+
+
+def numerical_gradient(
+    net: MLP,
+    loss_fn: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    eps: float = 1e-6,
+) -> list[np.ndarray]:
+    """Finite-difference gradient of ``loss_fn(net.forward(x))`` w.r.t. every
+    network parameter.
+
+    Used by the test suite to validate the hand-written backward passes.
+    ``loss_fn`` must be a pure function of the network output.
+    """
+    grads: list[np.ndarray] = []
+    for p in net.parameters():
+        g = np.zeros_like(p.value)
+        flat = p.value.ravel()
+        gflat = g.ravel()
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            hi = loss_fn(net.forward(x))
+            flat[i] = orig - eps
+            lo = loss_fn(net.forward(x))
+            flat[i] = orig
+            gflat[i] = (hi - lo) / (2.0 * eps)
+        grads.append(g)
+    return grads

@@ -1,0 +1,54 @@
+"""Process corners for the generic 180 nm model cards.
+
+Classic five-corner set: TT (typical), FF/SS (both devices fast/slow), and
+the skewed FS/SF corners.  "Fast" means lower |VTO| and higher mobility —
+the usual first-order digital/analog corner semantics.
+
+The corner magnitudes are representative (|dVTO| = 50 mV, dKP = +-15 %),
+matching the spread a generic 180 nm PDK quotes between SS and FF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.spice.models import MosfetModel, NMOS_180, PMOS_180
+
+DVTO = 0.05     # corner threshold shift [V]
+KP_FAST = 1.15  # fast-corner mobility multiplier
+KP_SLOW = 0.85
+
+CORNER_NAMES = ("tt", "ff", "ss", "fs", "sf")
+
+
+def _fast(model: MosfetModel) -> MosfetModel:
+    return replace(model, name=model.name + "_f",
+                   vto=model.vto - DVTO, kp=model.kp * KP_FAST)
+
+
+def _slow(model: MosfetModel) -> MosfetModel:
+    return replace(model, name=model.name + "_s",
+                   vto=model.vto + DVTO, kp=model.kp * KP_SLOW)
+
+
+def corner_models(corner: str,
+                  nmos: MosfetModel = NMOS_180,
+                  pmos: MosfetModel = PMOS_180
+                  ) -> tuple[MosfetModel, MosfetModel]:
+    """Return the (nmos, pmos) model pair for a named corner.
+
+    ``corner`` is one of ``tt``, ``ff``, ``ss``, ``fs`` (fast N / slow P),
+    ``sf`` (slow N / fast P); case-insensitive.
+    """
+    corner = corner.lower()
+    if corner == "tt":
+        return nmos, pmos
+    if corner == "ff":
+        return _fast(nmos), _fast(pmos)
+    if corner == "ss":
+        return _slow(nmos), _slow(pmos)
+    if corner == "fs":
+        return _fast(nmos), _slow(pmos)
+    if corner == "sf":
+        return _slow(nmos), _fast(pmos)
+    raise ValueError(f"unknown corner {corner!r}; options: {CORNER_NAMES}")

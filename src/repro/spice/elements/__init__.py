@@ -1,0 +1,22 @@
+"""Circuit elements with MNA stamps for DC, transient, AC, and noise."""
+
+from repro.spice.elements.base import Element, NoiseSource
+from repro.spice.elements.controlled import VCCS, VCVS
+from repro.spice.elements.diode import Diode
+from repro.spice.elements.mosfet import Mosfet
+from repro.spice.elements.passives import Capacitor, Inductor, Resistor
+from repro.spice.elements.sources import CurrentSource, VoltageSource
+
+__all__ = [
+    "Element",
+    "NoiseSource",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCVS",
+    "VCCS",
+    "Diode",
+    "Mosfet",
+]

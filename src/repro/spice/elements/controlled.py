@@ -1,0 +1,68 @@
+"""Linear controlled sources: VCVS (E) and VCCS (G)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.elements.base import Element
+from repro.spice.mna import MNASystem, StampContext
+
+
+class VCCS(Element):
+    """Voltage-controlled current source.
+
+    Current ``gm * (v(cp) - v(cn))`` flows from ``pos`` through the source
+    into ``neg``.
+    """
+
+    def __init__(self, name: str, pos: str, neg: str, cpos: str, cneg: str,
+                 gm: float) -> None:
+        super().__init__(name, (pos, neg, cpos, cneg))
+        self.gm = float(gm)
+
+    def _stamp_core(self, sys: MNASystem) -> None:
+        a, b, c, d = self.nodes
+        sys.add_a(a, c, self.gm)
+        sys.add_a(a, d, -self.gm)
+        sys.add_a(b, c, -self.gm)
+        sys.add_a(b, d, self.gm)
+
+    def stamp(self, sys: MNASystem, x: np.ndarray, ctx: StampContext) -> None:
+        del x, ctx
+        self._stamp_core(sys)
+
+    def stamp_ac(self, sys: MNASystem, x_op: np.ndarray, omega: float) -> None:
+        del x_op, omega
+        self._stamp_core(sys)
+
+
+class VCVS(Element):
+    """Voltage-controlled voltage source: ``v(pos) - v(neg) = mu * v(ctrl)``."""
+
+    n_branches = 1
+
+    def __init__(self, name: str, pos: str, neg: str, cpos: str, cneg: str,
+                 mu: float) -> None:
+        super().__init__(name, (pos, neg, cpos, cneg))
+        self.mu = float(mu)
+
+    def _stamp_core(self, sys: MNASystem) -> None:
+        a, b, c, d = self.nodes
+        br = self.branch_start
+        sys.add_a(a, br, 1.0)
+        sys.add_a(b, br, -1.0)
+        sys.add_a(br, a, 1.0)
+        sys.add_a(br, b, -1.0)
+        sys.add_a(br, c, -self.mu)
+        sys.add_a(br, d, self.mu)
+
+    def stamp(self, sys: MNASystem, x: np.ndarray, ctx: StampContext) -> None:
+        del x, ctx
+        self._stamp_core(sys)
+
+    def stamp_ac(self, sys: MNASystem, x_op: np.ndarray, omega: float) -> None:
+        del x_op, omega
+        self._stamp_core(sys)
+
+    def op_info(self, x: np.ndarray) -> dict[str, float]:
+        return {"i": float(np.real(x[self.branch_start]))}

@@ -1,0 +1,84 @@
+"""Independent voltage and current sources with DC/AC/transient behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.elements.base import Element
+from repro.spice.mna import MNASystem, StampContext
+from repro.spice.waveforms import Waveform, as_waveform
+
+
+class VoltageSource(Element):
+    """Independent voltage source (branch element).
+
+    Positive branch current flows from the ``+`` node through the source to
+    the ``-`` node, so a supply sourcing current into the circuit reports a
+    *negative* branch current (SPICE convention).
+
+    ``value`` may be a number (DC) or a :class:`~repro.spice.waveforms.Waveform`;
+    ``ac`` is the small-signal magnitude used by AC/noise analyses.
+    """
+
+    n_branches = 1
+
+    def __init__(self, name: str, pos: str, neg: str,
+                 value: float | Waveform = 0.0, ac: float = 0.0) -> None:
+        super().__init__(name, (pos, neg))
+        self.waveform = as_waveform(value)
+        self.ac = float(ac)
+
+    def stamp(self, sys: MNASystem, x: np.ndarray, ctx: StampContext) -> None:
+        del x
+        a, b = self.nodes
+        br = self.branch_start
+        sys.add_a(a, br, 1.0)
+        sys.add_a(b, br, -1.0)
+        sys.add_a(br, a, 1.0)
+        sys.add_a(br, b, -1.0)
+        value = self.waveform.value(ctx.time) * ctx.source_scale
+        sys.add_z(br, value)
+
+    def stamp_ac(self, sys: MNASystem, x_op: np.ndarray, omega: float) -> None:
+        del x_op, omega
+        a, b = self.nodes
+        br = self.branch_start
+        sys.add_a(a, br, 1.0)
+        sys.add_a(b, br, -1.0)
+        sys.add_a(br, a, 1.0)
+        sys.add_a(br, b, -1.0)
+        sys.add_z(br, self.ac)
+
+    def branch_current(self, x: np.ndarray) -> float:
+        """Branch current from the solution vector."""
+        return float(np.real(x[self.branch_start]))
+
+    def op_info(self, x: np.ndarray) -> dict[str, float]:
+        i = self.branch_current(x)
+        v = self._v(x, 0) - self._v(x, 1)
+        return {"v": v, "i": i, "p": v * i}
+
+
+class CurrentSource(Element):
+    """Independent current source: positive current flows from the ``+``
+    node through the source into the ``-`` node."""
+
+    def __init__(self, name: str, pos: str, neg: str,
+                 value: float | Waveform = 0.0, ac: float = 0.0) -> None:
+        super().__init__(name, (pos, neg))
+        self.waveform = as_waveform(value)
+        self.ac = float(ac)
+
+    def stamp(self, sys: MNASystem, x: np.ndarray, ctx: StampContext) -> None:
+        del x
+        value = self.waveform.value(ctx.time) * ctx.source_scale
+        sys.stamp_current(self.nodes[0], self.nodes[1], value)
+
+    def stamp_ac(self, sys: MNASystem, x_op: np.ndarray, omega: float) -> None:
+        del x_op, omega
+        sys.stamp_current(self.nodes[0], self.nodes[1], self.ac)
+
+    def op_info(self, x: np.ndarray) -> dict[str, float]:
+        v = self._v(x, 0) - self._v(x, 1)
+        i = self.waveform.dc_value()
+        return {"v": v, "i": i, "p": v * i}

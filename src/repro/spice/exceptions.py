@@ -1,0 +1,21 @@
+"""Exception hierarchy for the circuit simulator."""
+
+from __future__ import annotations
+
+
+class SpiceError(Exception):
+    """Base class for all simulator errors."""
+
+
+class NetlistError(SpiceError):
+    """Raised for malformed netlists (bad nodes, duplicate names, ...)."""
+
+
+class ConvergenceError(SpiceError):
+    """Raised when Newton iteration fails to converge after all homotopy
+    fallbacks (gmin stepping, source stepping, step halving)."""
+
+
+class AnalysisError(SpiceError):
+    """Raised for invalid analysis requests (empty sweep, bad output node,
+    singular linear systems in a linear analysis, ...)."""

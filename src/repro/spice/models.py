@@ -1,0 +1,278 @@
+"""Device model cards and model equations.
+
+The MOSFET model is a simplified EKV formulation chosen deliberately over
+the classic SPICE level-1 square law: EKV's single interpolation function
+covers weak/moderate/strong inversion and triode/saturation with a C1-smooth
+expression, which keeps Newton-Raphson robust across the random sizings an
+optimizer throws at the simulator.
+
+Model equations (bulk-referenced, polarity-flipped so PMOS reuses the NMOS
+math):
+
+    vp  = (Vg - VTO) / n
+    F(u) = ln(1 + exp(u / 2))^2          (EKV interpolation function)
+    i_f = F((vp - Vs) / Ut),  i_r = F((vp - Vd) / Ut)
+    Is  = 2 n KP (W/L) Ut^2
+    Id  = Is (i_f - i_r) * (1 + lambda * |Vds|_smooth)
+
+``lambda`` scales as ``lambda_l / L`` so short channels show strong channel-
+length modulation, as in a real 180 nm process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+BOLTZMANN = 1.380649e-23
+ELEMENTARY_CHARGE = 1.602176634e-19
+ROOM_TEMP = 300.15
+UT_ROOM = BOLTZMANN * ROOM_TEMP / ELEMENTARY_CHARGE  # ~25.9 mV
+EPS_OX = 3.9 * 8.8541878128e-12  # F/m
+
+
+def _softplus(u: float) -> float:
+    """ln(1 + exp(u)) computed without overflow."""
+    if u > 40.0:
+        return u
+    if u < -40.0:
+        return np.exp(u)
+    return float(np.log1p(np.exp(u)))
+
+
+def _sigmoid(u: float) -> float:
+    if u >= 0:
+        return 1.0 / (1.0 + np.exp(-min(u, 60.0)))
+    e = np.exp(max(u, -60.0))
+    return e / (1.0 + e)
+
+
+def ekv_f(u: float) -> float:
+    """EKV interpolation function ``F(u) = ln(1+exp(u/2))^2``."""
+    sp = _softplus(u / 2.0)
+    return sp * sp
+
+
+def ekv_f_prime(u: float) -> float:
+    """Derivative ``F'(u) = ln(1+exp(u/2)) * sigmoid(u/2)``."""
+    return _softplus(u / 2.0) * _sigmoid(u / 2.0)
+
+
+@dataclass(frozen=True)
+class MosfetModel:
+    """An EKV-style MOSFET model card.
+
+    Attributes
+    ----------
+    name: card name, e.g. ``"nmos180"``.
+    polarity: +1 for NMOS, -1 for PMOS.
+    vto: threshold voltage magnitude (positive for both polarities) [V].
+    kp: transconductance parameter ``mu * Cox`` [A/V^2].
+    n: subthreshold slope factor (dimensionless).
+    lambda_l: channel-length-modulation coefficient; the per-device value is
+        ``lambda_l / L`` [V^-1 * m].
+    tox: oxide thickness [m] (sets intrinsic gate capacitance).
+    cgso / cgdo: gate overlap capacitance per unit width [F/m].
+    cjw: junction capacitance per unit width (drain/source to bulk) [F/m].
+    gamma_noise: channel thermal-noise factor (2/3 in saturation).
+    kf / af: flicker-noise coefficient and current exponent.
+    """
+
+    name: str
+    polarity: int
+    vto: float = 0.45
+    kp: float = 300e-6
+    n: float = 1.3
+    lambda_l: float = 0.03e-6
+    tox: float = 4e-9
+    cgso: float = 3.7e-10
+    cgdo: float = 3.7e-10
+    cjw: float = 1.0e-9
+    gamma_noise: float = 2.0 / 3.0
+    kf: float = 3e-24
+    af: float = 1.0
+    temp: float = ROOM_TEMP
+
+    def __post_init__(self) -> None:
+        if self.polarity not in (1, -1):
+            raise ValueError("polarity must be +1 (NMOS) or -1 (PMOS)")
+        if self.vto <= 0 or self.kp <= 0 or self.n < 1.0 or self.tox <= 0:
+            raise ValueError(f"non-physical model parameters in {self.name!r}")
+
+    @property
+    def ut(self) -> float:
+        """Thermal voltage at the model temperature."""
+        return BOLTZMANN * self.temp / ELEMENTARY_CHARGE
+
+    @property
+    def cox(self) -> float:
+        """Oxide capacitance per unit area [F/m^2]."""
+        return EPS_OX / self.tox
+
+    def specific_current(self, w: float, l: float) -> float:
+        """EKV specific current ``Is = 2 n KP (W/L) Ut^2``."""
+        return 2.0 * self.n * self.kp * (w / l) * self.ut**2
+
+    def at_temperature(self, temp_c: float) -> "MosfetModel":
+        """Model card re-evaluated at ``temp_c`` degrees Celsius.
+
+        First-order temperature physics: mobility degrades as
+        ``(T/T0)^-1.5`` and |VTO| drops ~1 mV/K; the thermal voltage (and
+        hence subthreshold behaviour and noise) follows T through
+        :attr:`temp`.
+        """
+        from dataclasses import replace
+
+        t_new = temp_c + 273.15
+        ratio = t_new / self.temp
+        return replace(
+            self,
+            name=f"{self.name}@{temp_c:g}C",
+            kp=self.kp * ratio**-1.5,
+            vto=max(self.vto - 1e-3 * (t_new - self.temp), 0.05),
+            temp=t_new,
+        )
+
+    def evaluate(
+        self, vg: float, vd: float, vs: float, vb: float, w: float, l: float
+    ) -> dict[str, float]:
+        """Evaluate drain current and conductances at a bias point.
+
+        Inputs are *absolute* terminal voltages.  Returns a dict with:
+
+        ``id``  drain current flowing drain -> source (signed, A)
+        ``gm``  dId/dVg, ``gds`` dId/dVd, ``gms`` dId/dVs, ``gmb`` dId/dVb
+        (all in absolute-voltage space, so they stamp directly).
+        """
+        p = float(self.polarity)
+        ut = self.ut
+        # Flip into NMOS-equivalent, bulk-referenced space.
+        fvg = p * (vg - vb)
+        fvd = p * (vd - vb)
+        fvs = p * (vs - vb)
+        vp = (fvg - self.vto) / self.n
+        uf = (vp - fvs) / ut
+        ur = (vp - fvd) / ut
+        i_f = ekv_f(uf)
+        i_r = ekv_f(ur)
+        dif = ekv_f_prime(uf)
+        dir_ = ekv_f_prime(ur)
+        isq = self.specific_current(w, l)
+        icore = isq * (i_f - i_r)
+        # Channel-length modulation with a smooth |Vds|.
+        lam = self.lambda_l / l
+        vds = fvd - fvs
+        eps = 1e-3
+        sabs = float(np.sqrt(vds * vds + eps * eps)) - eps
+        dsabs = vds / float(np.sqrt(vds * vds + eps * eps))
+        mclm = 1.0 + lam * sabs
+        # Partials of icore in flipped space.
+        dic_dvg = isq * (dif - dir_) / (self.n * ut)
+        dic_dvs = -isq * dif / ut
+        dic_dvd = isq * dir_ / ut
+        # Full current and partials in flipped space.
+        idf = icore * mclm
+        gm = dic_dvg * mclm
+        gds = dic_dvd * mclm + icore * lam * dsabs
+        gms = dic_dvs * mclm - icore * lam * dsabs
+        # Back to absolute space.  d(flipped v)/d(abs v) = p for g/d/s and
+        # the bulk picks up minus the sum, so conductances keep their sign
+        # while the current flips with polarity.
+        id_abs = p * idf
+        gmb = -(gm + gds + gms)
+        return {
+            "id": id_abs,
+            "gm": gm,
+            "gds": gds,
+            "gms": gms,
+            "gmb": gmb,
+            "if": i_f,
+            "ir": i_r,
+        }
+
+    def capacitances(self, w: float, l: float) -> dict[str, float]:
+        """Geometry-determined small-signal capacitances [F].
+
+        The simulator treats these as bias-independent (saturation-region
+        Meyer values), which keeps transient integration charge-conserving.
+        """
+        c_intrinsic = self.cox * w * l
+        return {
+            "cgs": (2.0 / 3.0) * c_intrinsic + self.cgso * w,
+            "cgd": self.cgdo * w,
+            "cdb": self.cjw * w,
+            "csb": self.cjw * w,
+        }
+
+    def thermal_noise_psd(self, gm: float) -> float:
+        """Channel thermal noise current PSD ``4 k T gamma gm`` [A^2/Hz]."""
+        return 4.0 * BOLTZMANN * self.temp * self.gamma_noise * max(gm, 0.0)
+
+    def flicker_noise_psd(self, drain_current: float, w: float, l: float, f: float) -> float:
+        """Flicker noise current PSD ``KF Id^AF / (Cox W L f)`` [A^2/Hz]."""
+        if f <= 0:
+            raise ValueError("flicker noise frequency must be positive")
+        cox_tot = self.cox * w * l
+        return self.kf * abs(drain_current) ** self.af / (cox_tot * f)
+
+
+@dataclass(frozen=True)
+class DiodeModel:
+    """Ideal-exponential junction diode model with series conductance clamp."""
+
+    name: str
+    is_: float = 1e-14
+    n: float = 1.0
+    temp: float = ROOM_TEMP
+    v_crit: float = 0.9
+    cj0: float = field(default=0.0)
+
+    @property
+    def ut(self) -> float:
+        return BOLTZMANN * self.temp / ELEMENTARY_CHARGE
+
+    def evaluate(self, v: float) -> tuple[float, float]:
+        """Return ``(current, conductance)`` at junction voltage ``v``.
+
+        Above ``v_crit`` the exponential is linearized to avoid overflow
+        during Newton iterations far from the solution.
+        """
+        nut = self.n * self.ut
+        if v <= self.v_crit:
+            e = np.exp(v / nut)
+            i = self.is_ * (e - 1.0)
+            g = self.is_ * e / nut
+        else:
+            e = np.exp(self.v_crit / nut)
+            g = self.is_ * e / nut
+            i = self.is_ * (e - 1.0) + g * (v - self.v_crit)
+        return float(i), float(g)
+
+
+# Representative generic 0.18 um CMOS cards.  Values are textbook-plausible
+# (not any foundry's data): NMOS mobility ~3-4x PMOS, |VTO| ~ 0.45 V,
+# tox ~ 4 nm, strong CLM at minimum length.
+NMOS_180 = MosfetModel(
+    name="nmos180",
+    polarity=+1,
+    vto=0.45,
+    kp=300e-6,
+    n=1.30,
+    lambda_l=0.06e-6,
+    tox=4e-9,
+    kf=4e-24,
+)
+
+PMOS_180 = MosfetModel(
+    name="pmos180",
+    polarity=-1,
+    vto=0.45,
+    kp=85e-6,
+    n=1.35,
+    lambda_l=0.08e-6,
+    tox=4e-9,
+    kf=1.5e-24,
+)
+
+DEFAULT_DIODE = DiodeModel(name="d180")

@@ -1,0 +1,89 @@
+"""Small-signal noise analysis via the adjoint method.
+
+For each frequency the complex MNA matrix ``A`` is factorized once; the
+adjoint solve ``A^H y = e_out`` yields, in ``y``, the transfer impedance
+from a unit current injected between any node pair to the output voltage.
+Every device noise current source then contributes
+``|y[p] - y[m]|^2 * S_i(f)`` to the output voltage PSD — one factorization
+per frequency regardless of the number of noise sources.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import lu_factor, lu_solve
+
+from repro.spice.dc import operating_point
+from repro.spice.exceptions import AnalysisError
+from repro.spice.netlist import Circuit
+from repro.spice.results import NoiseResult, OPResult
+
+
+def noise_analysis(circuit: Circuit, output_node: str, freqs: np.ndarray,
+                   input_source: str | None = None,
+                   x_op: np.ndarray | OPResult | None = None,
+                   output_node_neg: str | None = None) -> NoiseResult:
+    """Compute the output-referred voltage noise PSD at ``output_node``.
+
+    Parameters
+    ----------
+    input_source:
+        Name of the source whose ``ac`` magnitude defines the signal path;
+        when given, the result can report input-referred noise through
+        ``NoiseResult.input_referred_psd``.
+    output_node_neg:
+        Optional negative output node for differential outputs.
+    """
+    freqs = np.asarray(freqs, dtype=float)
+    if freqs.size == 0 or np.any(freqs <= 0):
+        raise AnalysisError("noise frequencies must be positive and non-empty")
+    if x_op is None:
+        x_op = operating_point(circuit).x
+    elif isinstance(x_op, OPResult):
+        x_op = x_op.x
+
+    out_idx = circuit.node_index(output_node)
+    if out_idx < 0:
+        raise AnalysisError("output node cannot be ground")
+    neg_idx = circuit.node_index(output_node_neg) if output_node_neg else -1
+
+    sources = []
+    for elem in circuit.elements:
+        sources.extend(elem.noise_sources(x_op))
+
+    n = circuit.size
+    e_out = np.zeros(n, dtype=complex)
+    e_out[out_idx] = 1.0
+    if neg_idx >= 0:
+        e_out[neg_idx] = -1.0
+
+    output_psd = np.zeros(freqs.size)
+    contributions: dict[str, np.ndarray] = {
+        src.label: np.zeros(freqs.size) for src in sources
+    }
+    gain = np.zeros(freqs.size, dtype=complex) if input_source else None
+    if input_source is not None and input_source not in circuit:
+        raise AnalysisError(f"no input source named {input_source!r}")
+
+    for k, f in enumerate(freqs):
+        sys = circuit.assemble_ac(x_op, 2.0 * np.pi * f)
+        try:
+            lu = lu_factor(sys.A)
+        except (np.linalg.LinAlgError, ValueError) as exc:
+            raise AnalysisError(f"singular noise system at {f:g} Hz: {exc}") from exc
+        # Adjoint: A^H y = e_out  (trans=2 is conjugate transpose).
+        y = lu_solve(lu, e_out, trans=2)
+        for src in sources:
+            yp = y[src.node_a] if src.node_a >= 0 else 0.0
+            ym = y[src.node_b] if src.node_b >= 0 else 0.0
+            transfer2 = abs(yp - ym) ** 2
+            psd = transfer2 * src.psd(f)
+            contributions[src.label][k] += psd
+            output_psd[k] += psd
+        if gain is not None:
+            x_sig = lu_solve(lu, sys.z)
+            g = x_sig[out_idx]
+            if neg_idx >= 0:
+                g = g - x_sig[neg_idx]
+            gain[k] = g
+    return NoiseResult(circuit, freqs, output_psd, contributions, gain=gain)

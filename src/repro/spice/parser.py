@@ -1,0 +1,333 @@
+"""SPICE-format netlist parser.
+
+Parses a useful subset of SPICE deck syntax into a
+:class:`~repro.spice.netlist.Circuit`:
+
+* ``R/C/L`` two-terminal passives with SI-suffixed values,
+* ``V/I`` independent sources with ``DC``, ``AC`` and
+  ``PULSE/SIN/PWL(...)`` specifications,
+* ``E/G`` voltage/current-controlled sources,
+* ``M`` MOSFETs with ``W=/L=/M=`` parameters referencing ``.model`` cards
+  (``nmos``/``pmos`` level-1-style parameters mapped onto the EKV model),
+* ``D`` diodes referencing ``.model d`` cards,
+* ``.model``, ``.title``, comments (``*``, ``$``), continuation lines
+  (``+``), ``.end``,
+* hierarchical ``.subckt``/``.ends`` definitions with ``X`` instantiation
+  (flattened; internal nodes become ``<instance>.<node>``, nesting allowed).
+
+The parser exists so users can bring existing decks to the optimizer and
+so tests can express circuits compactly.  Analysis statements (``.ac``,
+``.tran`` ...) are deliberately *not* parsed — analyses are Python calls.
+
+Example
+-------
+>>> from repro.spice.parser import parse_netlist
+>>> ckt = parse_netlist('''
+... * divider
+... V1 in 0 DC 2
+... R1 in out 1k
+... R2 out 0 1k
+... .end
+... ''')
+>>> from repro.spice import operating_point
+>>> round(operating_point(ckt).v("out"), 6)
+1.0
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.spice.exceptions import NetlistError
+from repro.spice.models import DiodeModel, MosfetModel, NMOS_180, PMOS_180
+from repro.spice.netlist import Circuit
+from repro.spice.units import parse_si
+from repro.spice.waveforms import PieceWiseLinear, Pulse, Sine
+
+_PAREN_FUNC_RE = re.compile(r"(pulse|sin|pwl)\s*\(([^)]*)\)", re.IGNORECASE)
+
+# Minimum token counts per element letter (name + nodes + value/model).
+_MIN_TOKENS = {"r": 4, "c": 4, "l": 4, "v": 3, "i": 3,
+               "e": 6, "g": 6, "d": 4, "m": 6, "x": 3}
+
+_MAX_SUBCKT_DEPTH = 20
+
+
+def _type_letter(name: str) -> str:
+    """Element type letter; flattened names keep it in the last segment
+    (``X1.R1`` is a resistor inside instance X1)."""
+    return name.split(".")[-1][0].lower()
+
+
+def _extract_subckts(lines: list[str]) -> tuple[list[str], dict]:
+    """Split out ``.subckt``/``.ends`` blocks; returns (top_lines, defs).
+
+    Each definition maps ``name -> (ports, body_lines)``.
+    """
+    top: list[str] = []
+    defs: dict[str, tuple[list[str], list[str]]] = {}
+    stack: list[tuple[str, list[str], list[str]]] = []
+    for line in lines:
+        low = line.lower()
+        if low.startswith(".subckt"):
+            tokens = line.split()
+            if len(tokens) < 3:
+                raise NetlistError(f"malformed .subckt: {line!r}")
+            stack.append((tokens[1].lower(), tokens[2:], []))
+        elif low.startswith(".ends"):
+            if not stack:
+                raise NetlistError(".ends without .subckt")
+            name, ports, body = stack.pop()
+            defs[name] = (ports, body)
+        elif stack:
+            stack[-1][2].append(line)
+        else:
+            top.append(line)
+    if stack:
+        raise NetlistError(f"unterminated .subckt {stack[-1][0]!r}")
+    return top, defs
+
+
+def _expand_instances(lines: list[str], defs: dict, depth: int = 0
+                      ) -> list[str]:
+    """Replace every X line with its subcircuit body, prefixed/mapped."""
+    if depth > _MAX_SUBCKT_DEPTH:
+        raise NetlistError("subcircuit nesting too deep (recursive?)")
+    out: list[str] = []
+    for line in lines:
+        if _type_letter(line.split()[0]) != "x":
+            out.append(line)
+            continue
+        tokens = line.split()
+        inst = tokens[0]
+        sub_name = tokens[-1].lower()
+        conn = tokens[1:-1]
+        if sub_name not in defs:
+            raise NetlistError(f"unknown subcircuit {tokens[-1]!r}")
+        ports, body = defs[sub_name]
+        if len(conn) != len(ports):
+            raise NetlistError(
+                f"{inst}: {len(conn)} connections for {len(ports)} ports "
+                f"of {sub_name!r}")
+        port_map = dict(zip(ports, conn))
+
+        def map_node(node: str) -> str:
+            if node.lower() in ("0", "gnd"):
+                return "0"
+            return port_map.get(node, f"{inst}.{node}")
+
+        expanded_body: list[str] = []
+        for bline in body:
+            btok = bline.split()
+            letter = _type_letter(btok[0])
+            new = [f"{inst}.{btok[0]}"]
+            if letter == "x":
+                # nodes are everything but the trailing subckt name
+                new += [map_node(n) for n in btok[1:-1]] + [btok[-1]]
+            else:
+                n_nodes = {"r": 2, "c": 2, "l": 2, "v": 2, "i": 2,
+                           "e": 4, "g": 4, "d": 2, "m": 4}.get(letter)
+                if n_nodes is None:
+                    raise NetlistError(
+                        f"unsupported element in subcircuit: {bline!r}")
+                new += [map_node(n) for n in btok[1:1 + n_nodes]]
+                new += btok[1 + n_nodes:]
+            expanded_body.append(" ".join(new))
+        out.extend(_expand_instances(expanded_body, defs, depth + 1))
+    return out
+
+
+def _looks_like_element(line: str) -> bool:
+    """Heuristic used to distinguish a SPICE title line from an element."""
+    tokens = line.split()
+    letter = tokens[0][0].lower()
+    need = _MIN_TOKENS.get(letter)
+    return need is not None and len(tokens) >= need
+
+
+def _join_continuations(text: str) -> list[str]:
+    """Strip comments and merge ``+`` continuation lines."""
+    merged: list[str] = []
+    for raw in text.splitlines():
+        line = raw.split("$", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        stripped = line.strip()
+        if stripped.startswith("*"):
+            continue
+        if stripped.startswith("+"):
+            if not merged:
+                raise NetlistError("continuation line with nothing to continue")
+            merged[-1] += " " + stripped[1:].strip()
+        else:
+            merged.append(stripped)
+    return merged
+
+
+def _parse_kv(tokens: list[str]) -> dict[str, str]:
+    """Parse trailing ``key=value`` tokens."""
+    out: dict[str, str] = {}
+    for tok in tokens:
+        if "=" not in tok:
+            raise NetlistError(f"expected key=value, got {tok!r}")
+        key, val = tok.split("=", 1)
+        out[key.lower()] = val
+    return out
+
+
+def _parse_waveform(spec: str):
+    """Parse a source value spec: number, DC x, AC y, PULSE(...), etc."""
+    spec = spec.strip()
+    match = _PAREN_FUNC_RE.search(spec)
+    dc = 0.0
+    ac = 0.0
+    wave = None
+    rest = spec
+    if match:
+        func = match.group(1).lower()
+        args = [parse_si(a) for a in match.group(2).replace(",", " ").split()]
+        if func == "pulse":
+            names = ("v1", "v2", "td", "tr", "tf", "pw", "per")
+            wave = Pulse(**dict(zip(names, args)))
+        elif func == "sin":
+            names = ("vo", "va", "freq", "td", "theta")
+            wave = Sine(**dict(zip(names, args)))
+        else:  # pwl
+            if len(args) % 2 != 0:
+                raise NetlistError("PWL needs (t, v) pairs")
+            pts = list(zip(args[::2], args[1::2]))
+            wave = PieceWiseLinear(pts)
+        rest = (spec[: match.start()] + spec[match.end():]).strip()
+    tokens = rest.split()
+    i = 0
+    while i < len(tokens):
+        tok = tokens[i].lower()
+        if tok == "dc":
+            dc = parse_si(tokens[i + 1])
+            i += 2
+        elif tok == "ac":
+            ac = parse_si(tokens[i + 1])
+            i += 2
+        else:
+            dc = parse_si(tokens[i])
+            i += 1
+    return (wave if wave is not None else dc), ac
+
+
+def _model_from_card(name: str, kind: str, params: dict[str, str]):
+    """Build a device model from a .model card."""
+    kind = kind.lower()
+    get = lambda key, default: parse_si(params[key]) if key in params else default
+    if kind in ("nmos", "pmos"):
+        base = NMOS_180 if kind == "nmos" else PMOS_180
+        return MosfetModel(
+            name=name,
+            polarity=+1 if kind == "nmos" else -1,
+            vto=abs(get("vto", base.vto)),
+            kp=get("kp", base.kp),
+            n=get("n", base.n),
+            lambda_l=get("lambda_l", base.lambda_l),
+            tox=get("tox", base.tox),
+            cgso=get("cgso", base.cgso),
+            cgdo=get("cgdo", base.cgdo),
+            kf=get("kf", base.kf),
+            af=get("af", base.af),
+        )
+    if kind == "d":
+        return DiodeModel(
+            name=name,
+            is_=get("is", 1e-14),
+            n=get("n", 1.0),
+            cj0=get("cjo", get("cj0", 0.0)),
+        )
+    raise NetlistError(f"unsupported .model kind {kind!r}")
+
+
+def parse_netlist(text: str, title: str | None = None) -> Circuit:
+    """Parse a SPICE deck into a Circuit (see module docstring)."""
+    lines = _join_continuations(text)
+    if not lines:
+        raise NetlistError("empty netlist")
+
+    # SPICE convention: a first line that isn't an element or control card
+    # is the deck title.
+    deck_title = title
+    if lines and not lines[0].startswith(".") \
+            and not _looks_like_element(lines[0]):
+        deck_title = lines[0]
+        lines = lines[1:]
+
+    # Hierarchical expansion before anything else.
+    lines, subckt_defs = _extract_subckts(lines)
+    lines = _expand_instances(lines, subckt_defs)
+
+    # First pass: collect .model cards (they may appear anywhere).
+    models: dict[str, object] = {"nmos180": NMOS_180, "pmos180": PMOS_180}
+    element_lines: list[str] = []
+    for line in lines:
+        low = line.lower()
+        if low.startswith(".model"):
+            tokens = line.split()
+            if len(tokens) < 3:
+                raise NetlistError(f"malformed .model: {line!r}")
+            mname = tokens[1].lower()
+            kind = tokens[2]
+            models[mname] = _model_from_card(mname, kind,
+                                             _parse_kv(tokens[3:]))
+        elif low.startswith(".title"):
+            deck_title = line.split(None, 1)[1] if " " in line else ""
+        elif low in (".end", ".ends"):
+            break
+        elif low.startswith("."):
+            raise NetlistError(f"unsupported control card: {line!r}")
+        else:
+            element_lines.append(line)
+
+    ckt = Circuit(deck_title or "parsed")
+    for line in element_lines:
+        tokens = line.split()
+        name = tokens[0]
+        letter = _type_letter(name)
+        try:
+            if letter == "r":
+                ckt.add_resistor(name, tokens[1], tokens[2],
+                                 parse_si(tokens[3]))
+            elif letter == "c":
+                ckt.add_capacitor(name, tokens[1], tokens[2],
+                                  parse_si(tokens[3]))
+            elif letter == "l":
+                ckt.add_inductor(name, tokens[1], tokens[2],
+                                 parse_si(tokens[3]))
+            elif letter in ("v", "i"):
+                value, ac = _parse_waveform(" ".join(tokens[3:]))
+                add = ckt.add_vsource if letter == "v" else ckt.add_isource
+                add(name, tokens[1], tokens[2], value, ac=ac)
+            elif letter == "e":
+                ckt.add_vcvs(name, tokens[1], tokens[2], tokens[3],
+                             tokens[4], parse_si(tokens[5]))
+            elif letter == "g":
+                ckt.add_vccs(name, tokens[1], tokens[2], tokens[3],
+                             tokens[4], parse_si(tokens[5]))
+            elif letter == "d":
+                model = models.get(tokens[3].lower())
+                if model is None or not isinstance(model, DiodeModel):
+                    raise NetlistError(f"unknown diode model {tokens[3]!r}")
+                ckt.add_diode(name, tokens[1], tokens[2], model=model)
+            elif letter == "m":
+                model = models.get(tokens[5].lower())
+                if model is None or not isinstance(model, MosfetModel):
+                    raise NetlistError(f"unknown MOS model {tokens[5]!r}")
+                kv = _parse_kv(tokens[6:])
+                if "w" not in kv or "l" not in kv:
+                    raise NetlistError(f"MOSFET {name} needs W= and L=")
+                ckt.add_mosfet(name, tokens[1], tokens[2], tokens[3],
+                               tokens[4], model,
+                               w=parse_si(kv["w"]), l=parse_si(kv["l"]),
+                               m=int(float(kv.get("m", "1"))))
+            else:
+                raise NetlistError(f"unsupported element letter {letter!r}")
+        except (IndexError, ValueError) as exc:
+            raise NetlistError(f"cannot parse line {line!r}: {exc}") from exc
+    if not ckt.elements:
+        raise NetlistError("netlist contains no elements")
+    return ckt

@@ -1,0 +1,54 @@
+"""Human-readable operating-point reports (HSpice .lis-style)."""
+
+from __future__ import annotations
+
+from repro.spice.elements import Mosfet, Resistor, VoltageSource
+from repro.spice.results import OPResult
+from repro.spice.units import format_si
+
+
+def op_report(op: OPResult) -> str:
+    """Render node voltages and per-device operating details.
+
+    Example
+    -------
+    >>> from repro.spice import Circuit, operating_point
+    >>> ckt = Circuit(); _ = ckt.add_vsource("V1", "a", "0", 1.0)
+    >>> _ = ckt.add_resistor("R1", "a", "0", 1e3)
+    >>> print(op_report(operating_point(ckt)))  # doctest: +ELLIPSIS
+    Operating point...
+    """
+    circuit = op.circuit
+    lines = [f"Operating point of {circuit.title!r} "
+             f"(strategy: {op.strategy}, {op.iterations} Newton iters)"]
+    lines.append("-- node voltages --")
+    for name in circuit.node_names():
+        lines.append(f"  v({name:8s}) = {op.v(name):10.6f} V")
+    mosfets = [e for e in circuit.elements if isinstance(e, Mosfet)]
+    if mosfets:
+        lines.append("-- MOSFETs --")
+        lines.append(f"  {'name':8s}{'id':>12s}{'gm':>12s}{'gds':>12s}"
+                     f"{'vgs':>9s}{'vds':>9s}{'vov':>9s}")
+        for m in mosfets:
+            info = m.op_info(op.x)
+            lines.append(
+                f"  {m.name:8s}{format_si(info['id'], 'A'):>12s}"
+                f"{format_si(info['gm'], 'S'):>12s}"
+                f"{format_si(info['gds'], 'S'):>12s}"
+                f"{info['vgs']:9.3f}{info['vds']:9.3f}{info['vov']:9.3f}"
+            )
+    sources = [e for e in circuit.elements if isinstance(e, VoltageSource)]
+    if sources:
+        lines.append("-- sources --")
+        for s in sources:
+            info = s.op_info(op.x)
+            lines.append(f"  {s.name:8s} v={info['v']:8.4f} V  "
+                         f"i={format_si(info['i'], 'A')}  "
+                         f"p={format_si(abs(info['p']), 'W')}")
+    total_r_power = sum(
+        e.op_info(op.x)["p"] for e in circuit.elements
+        if isinstance(e, Resistor)
+    )
+    lines.append(f"-- resistive dissipation: "
+                 f"{format_si(total_r_power, 'W')} --")
+    return "\n".join(lines)

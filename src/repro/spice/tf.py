@@ -1,0 +1,101 @@
+"""DC small-signal transfer function (SPICE ``.TF`` equivalent).
+
+Computes, from one linearized solve at the operating point:
+
+* the DC gain from an independent source to an output node,
+* the input resistance seen by that source,
+* the output resistance at the output node.
+
+Capacitors are open and inductors short at DC, exactly as in ``.TF``.
+Implementation: three real linear solves on the small-signal system — one
+with the input source active, one with a unit current at the output (for
+R_out), and one with the input's own excitation pattern (for R_in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.spice.elements import CurrentSource, VoltageSource
+from repro.spice.exceptions import AnalysisError
+from repro.spice.netlist import Circuit
+from repro.spice.results import OPResult
+
+# A tiny but nonzero frequency keeps inductor branches well-conditioned
+# while leaving capacitive admittances negligible.
+_OMEGA_DC = 1e-3
+
+
+@dataclass(frozen=True)
+class TransferFunction:
+    """Result of :func:`transfer_function`."""
+
+    gain: float
+    input_resistance: float
+    output_resistance: float
+
+
+def _solve(circuit: Circuit, x_op: np.ndarray, z: np.ndarray) -> np.ndarray:
+    sys = circuit.assemble_ac(x_op, _OMEGA_DC)
+    a = sys.A
+    try:
+        return np.real(np.linalg.solve(a, z.astype(complex)))
+    except np.linalg.LinAlgError as exc:
+        raise AnalysisError(f"singular small-signal system: {exc}") from exc
+
+
+def transfer_function(circuit: Circuit, input_source: str, output_node: str,
+                      x_op: np.ndarray | OPResult | None = None
+                      ) -> TransferFunction:
+    """SPICE ``.TF v(output_node) input_source``.
+
+    For a voltage-source input the gain is V(out)/V_in and the input
+    resistance is the resistance seen by the source; for a current-source
+    input the gain is V(out)/I_in (a transresistance).
+    """
+    from repro.spice.dc import operating_point
+
+    if x_op is None:
+        x_op = operating_point(circuit).x
+    elif isinstance(x_op, OPResult):
+        x_op = x_op.x
+    src = circuit[input_source]
+    out_idx = circuit.node_index(output_node)
+    if out_idx < 0:
+        raise AnalysisError("output node cannot be ground")
+    n = circuit.size
+
+    circuit.ensure_bound()
+    if isinstance(src, VoltageSource):
+        # Excite the source branch with 1 V.
+        z = np.zeros(n)
+        z[src.branch_start] = 1.0
+        x = _solve(circuit, x_op, z)
+        gain = float(x[out_idx])
+        i_in = float(x[src.branch_start])
+        rin = np.inf if abs(i_in) < 1e-30 else abs(1.0 / i_in)
+    elif isinstance(src, CurrentSource):
+        # Unit current from pos through the source into neg.
+        z = np.zeros(n)
+        p, m = src.nodes
+        if p >= 0:
+            z[p] -= 1.0
+        if m >= 0:
+            z[m] += 1.0
+        x = _solve(circuit, x_op, z)
+        gain = float(x[out_idx])
+        vp = x[p] if p >= 0 else 0.0
+        vm = x[m] if m >= 0 else 0.0
+        rin = abs(float(vp - vm))
+    else:
+        raise AnalysisError(f"{input_source!r} is not an independent source")
+
+    # Output resistance: unit current into the output node, input dead.
+    z = np.zeros(n)
+    z[out_idx] = 1.0
+    x = _solve(circuit, x_op, z)
+    rout = abs(float(x[out_idx]))
+    return TransferFunction(gain=gain, input_resistance=rin,
+                            output_resistance=rout)

@@ -1,0 +1,78 @@
+"""SI-suffix parsing/formatting in SPICE conventions.
+
+SPICE uses case-insensitive suffixes where ``m`` is milli and ``meg`` is
+mega; this module follows that convention (``2k`` = 2e3, ``1meg`` = 1e6,
+``100f`` = 1e-13).
+"""
+
+from __future__ import annotations
+
+import re
+
+_SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "x": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+    "a": 1e-18,
+}
+
+_NUMBER_RE = re.compile(
+    r"^\s*([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)\s*([a-zA-Z]*)\s*$"
+)
+
+
+def parse_si(text: str | float | int) -> float:
+    """Parse ``"2.2k"``, ``"100f"``, ``"1meg"``, ``4.7e-12`` ... to a float.
+
+    Trailing unit letters after a recognized suffix are ignored the way
+    SPICE does (``"10kohm"`` -> 1e4, ``"100nF"`` -> 1e-7).
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _NUMBER_RE.match(text)
+    if not match:
+        raise ValueError(f"cannot parse SI value {text!r}")
+    value = float(match.group(1))
+    suffix = match.group(2).lower()
+    if not suffix:
+        return value
+    if suffix.startswith("meg"):
+        return value * 1e6
+    mult = _SUFFIXES.get(suffix[0])
+    if mult is None:
+        # Unknown letters (e.g. "V", "Hz") are units, not multipliers.
+        return value
+    return value * mult
+
+
+def format_si(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format a float with an engineering SI prefix, e.g. ``2.2e-13`` ->
+    ``"220f"`` (plus the unit string if given)."""
+    if value == 0.0:
+        return f"0{unit}"
+    prefixes = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "meg"),  # SPICE: plain "M" is milli, so mega prints as "meg"
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+        (1e-18, "a"),
+    ]
+    mag = abs(value)
+    for scale, prefix in prefixes:
+        if mag >= scale:
+            scaled = value / scale
+            return f"{scaled:.{digits}g}{prefix}{unit}"
+    return f"{value:.{digits}g}{unit}"

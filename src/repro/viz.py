@@ -1,0 +1,93 @@
+"""Terminal plotting for waveforms and Bode data (no plotting libraries).
+
+The repo is dependency-free beyond numpy/scipy, so quick-look plots render
+as unicode-free ASCII: :func:`line_plot` for transient waveforms and sweep
+results, :func:`bode_plot` for AC magnitude/phase.  Examples use these;
+for publication plots export the raw arrays instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def line_plot(x: np.ndarray, y: np.ndarray, width: int = 70,
+              height: int = 16, title: str = "", x_label: str = "x",
+              y_label: str = "y", marker: str = "*") -> str:
+    """Render one series as ASCII art.
+
+    >>> import numpy as np
+    >>> art = line_plot(np.linspace(0, 1, 50), np.linspace(0, 1, 50))
+    >>> "*" in art
+    True
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.size < 2:
+        raise ValueError("need matching x/y arrays with >= 2 points")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    y_lo, y_hi = float(np.min(y)), float(np.max(y))
+    if y_hi - y_lo < 1e-300:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(x[0]), float(x[-1])
+    span_x = x_hi - x_lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(x, y):
+        col = int((xi - x_lo) / span_x * (width - 1))
+        row = int((y_hi - yi) / (y_hi - y_lo) * (height - 1))
+        grid[row][col] = marker
+    lines = [title] if title else []
+    lines.append(f"{y_label}: {y_lo:.4g} .. {y_hi:.4g}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"{x_label}: {x_lo:.4g} .. {x_hi:.4g}")
+    return "\n".join(lines)
+
+
+def multi_line_plot(x: np.ndarray, series: dict[str, np.ndarray],
+                    width: int = 70, height: int = 16,
+                    title: str = "") -> str:
+    """Overlay several named series (markers a, b, c, ... with a legend)."""
+    if not series:
+        raise ValueError("no series to plot")
+    x = np.asarray(x, dtype=float)
+    ys = {k: np.asarray(v, dtype=float) for k, v in series.items()}
+    all_y = np.concatenate(list(ys.values()))
+    y_lo, y_hi = float(np.min(all_y)), float(np.max(all_y))
+    if y_hi - y_lo < 1e-300:
+        y_hi = y_lo + 1.0
+    span_x = float(x[-1] - x[0]) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for (name, y), mark in zip(ys.items(), "abcdefgh"):
+        legend.append(f"  {mark} = {name}")
+        for xi, yi in zip(x, y):
+            col = int((xi - x[0]) / span_x * (width - 1))
+            row = int((y_hi - yi) / (y_hi - y_lo) * (height - 1))
+            grid[row][col] = mark
+    lines = [title] if title else []
+    lines.append(f"y: {y_lo:.4g} .. {y_hi:.4g}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width + f"  x: {x[0]:.4g} .. {x[-1]:.4g}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def bode_plot(freqs: np.ndarray, h: np.ndarray, width: int = 70,
+              height: int = 12, title: str = "") -> str:
+    """Magnitude (dB) and phase (deg) of a transfer function vs log f."""
+    freqs = np.asarray(freqs, dtype=float)
+    h = np.asarray(h)
+    if np.any(freqs <= 0):
+        raise ValueError("Bode plots need positive frequencies")
+    lf = np.log10(freqs)
+    mag_db = 20.0 * np.log10(np.maximum(np.abs(h), 1e-30))
+    phase = np.degrees(np.unwrap(np.angle(h)))
+    mag = line_plot(lf, mag_db, width=width, height=height,
+                    title=title or "magnitude",
+                    x_label="log10(f/Hz)", y_label="dB")
+    ph = line_plot(lf, phase, width=width, height=max(6, height // 2),
+                   title="phase", x_label="log10(f/Hz)", y_label="deg",
+                   marker=".")
+    return mag + "\n" + ph

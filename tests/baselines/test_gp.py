@@ -1,0 +1,61 @@
+"""Unit tests for the from-scratch Gaussian process."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gp import GaussianProcess
+
+
+class TestFitPredict:
+    def test_interpolates_training_points(self, rng):
+        x = rng.uniform(size=(20, 2))
+        y = np.sin(3 * x[:, 0]) + x[:, 1]
+        gp = GaussianProcess(2).fit(x, y, optimize=True)
+        mean, _ = gp.predict(x)
+        np.testing.assert_allclose(mean, y, atol=0.05)
+
+    def test_uncertainty_grows_away_from_data(self, rng):
+        x = rng.uniform(0.4, 0.6, size=(15, 1))
+        y = x[:, 0]
+        gp = GaussianProcess(1).fit(x, y, optimize=False)
+        _, std_near = gp.predict(np.array([[0.5]]))
+        _, std_far = gp.predict(np.array([[0.0]]))
+        assert std_far[0] > 2 * std_near[0]
+
+    def test_smooth_function_good_generalization(self, rng):
+        x = rng.uniform(size=(60, 2))
+        y = np.sum(x**2, axis=1)
+        gp = GaussianProcess(2).fit(x, y, optimize=True)
+        x_test = rng.uniform(0.1, 0.9, size=(20, 2))
+        mean, _ = gp.predict(x_test)
+        np.testing.assert_allclose(mean, np.sum(x_test**2, axis=1), atol=0.1)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess(2).predict(np.zeros((1, 2)))
+
+    def test_shape_validation(self, rng):
+        gp = GaussianProcess(3)
+        with pytest.raises(ValueError):
+            gp.fit(rng.uniform(size=(5, 2)), rng.uniform(size=5))
+        with pytest.raises(ValueError):
+            gp.fit(rng.uniform(size=(5, 3)), rng.uniform(size=4))
+
+    def test_bad_dim_raises(self):
+        with pytest.raises(ValueError):
+            GaussianProcess(0)
+
+    def test_hyperparameter_optimization_improves_nll(self, rng):
+        x = rng.uniform(size=(40, 1))
+        y = np.sin(10 * x[:, 0])
+        gp_plain = GaussianProcess(1, lengthscale=5.0).fit(x, y, optimize=False)
+        gp_opt = GaussianProcess(1, lengthscale=5.0).fit(x, y, optimize=True)
+        # optimized lengthscale should shrink to capture the oscillation
+        assert np.exp(gp_opt.log_ls[0]) < np.exp(gp_plain.log_ls[0])
+
+    def test_constant_targets_handled(self):
+        x = np.linspace(0, 1, 10)[:, None]
+        y = np.full(10, 3.0)
+        gp = GaussianProcess(1).fit(x, y, optimize=False)
+        mean, _ = gp.predict(np.array([[0.5]]))
+        assert mean[0] == pytest.approx(3.0, abs=1e-6)

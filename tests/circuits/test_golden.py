@@ -1,0 +1,88 @@
+"""Golden-value regression tests for the circuit benches.
+
+These pin the measured metrics of the validated reference sizings within
+loose tolerances.  They are deliberately the *only* tests sensitive to
+simulator numerics: if a model or solver change shifts these, every
+calibration note in DESIGN.md/EXPERIMENTS.md needs re-checking — fail loud.
+"""
+
+import pytest
+
+from repro.circuits import LDORegulator, ThreeStageTIA, TwoStageOTA
+from tests.circuits.test_ldo import GOOD as LDO_GOOD
+from tests.circuits.test_ota import GOOD as OTA_GOOD
+from tests.circuits.test_tia import GOOD as TIA_GOOD
+
+
+class TestOTAGolden:
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        return TwoStageOTA(fidelity="fast").measure(OTA_GOOD)
+
+    def test_power(self, metrics):
+        assert metrics["power"] == pytest.approx(0.50e-3, rel=0.15)
+
+    def test_dc_gain(self, metrics):
+        assert metrics["dc_gain"] == pytest.approx(74.6, abs=3.0)
+
+    def test_ugf(self, metrics):
+        assert metrics["ugf"] == pytest.approx(42e6, rel=0.2)
+
+    def test_pm(self, metrics):
+        assert metrics["pm"] == pytest.approx(62.0, abs=5.0)
+
+    def test_cmrr_psrr(self, metrics):
+        assert metrics["cmrr"] == pytest.approx(89.5, abs=5.0)
+        assert metrics["psrr"] == pytest.approx(80.2, abs=5.0)
+
+    def test_swing(self, metrics):
+        assert metrics["swing"] == pytest.approx(1.6, abs=0.05)
+
+    def test_settling(self, metrics):
+        assert metrics["settling"] == pytest.approx(22e-9, rel=0.5)
+
+    def test_noise(self, metrics):
+        assert metrics["noise"] == pytest.approx(4.4e-4, rel=0.5)
+
+
+class TestTIAGolden:
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        return ThreeStageTIA(fidelity="fast").measure(TIA_GOOD)
+
+    def test_power(self, metrics):
+        assert metrics["power"] == pytest.approx(4.6e-3, rel=0.15)
+
+    def test_gain(self, metrics):
+        assert metrics["dc_gain"] == pytest.approx(97.6, abs=4.0)
+
+    def test_ugf(self, metrics):
+        assert metrics["ugf"] == pytest.approx(1.25e9, rel=0.25)
+
+    def test_zt_tracks_feedback_r(self, metrics):
+        assert metrics["zt_ohm"] == pytest.approx(15e3, rel=0.2)
+
+    def test_noise(self, metrics):
+        assert metrics["in_noise"] == pytest.approx(6.6e-12, rel=0.5)
+
+
+class TestLDOGolden:
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        return LDORegulator(fidelity="fast").measure(LDO_GOOD)
+
+    def test_vout(self, metrics):
+        assert metrics["vout"] == pytest.approx(1.80, abs=0.02)
+
+    def test_qc(self, metrics):
+        assert metrics["qc"] == pytest.approx(0.152e-3, rel=0.2)
+
+    def test_load_reg(self, metrics):
+        assert metrics["load_reg"] < 0.1
+
+    def test_psrr(self, metrics):
+        assert metrics["psrr"] > 60.0
+
+    def test_transients_settle(self, metrics):
+        for key in ("t_load_up", "t_load_dn", "t_line_up", "t_line_dn"):
+            assert metrics[key] < 35e-6

@@ -1,0 +1,80 @@
+"""Behavioural tests for the LDO regulator task."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import LDORegulator
+from repro.circuits.ldo import I_LOAD_NOM, VREF, build_ldo
+from repro.spice import operating_point
+
+GOOD = {
+    "L1": 1.0, "L2": 1.0, "L3": 2.0, "L4": 0.32, "L5": 2.0,
+    "W1": 60.0, "W2": 30.0, "W3": 2.0, "W4": 200.0, "W5": 2.0,
+    "R1": 20.0, "R2": 20.0, "C": 300.0,
+    "N1": 2, "N2": 20, "N3": 1,
+}
+
+
+@pytest.fixture(scope="module")
+def task():
+    return LDORegulator(fidelity="fast")
+
+
+@pytest.fixture(scope="module")
+def good_metrics(task):
+    return task.measure(GOOD)
+
+
+class TestNetlist:
+    def test_reference_and_divider(self):
+        ckt = build_ldo(GOOD)
+        assert "Vref" in ckt and "R1" in ckt and "R2" in ckt
+
+    def test_regulation_point(self):
+        op = operating_point(build_ldo(GOOD))
+        # equal divider: fb ~ vref, vout ~ 2*vref
+        assert op.v("fb") == pytest.approx(VREF, abs=0.02)
+        assert op.v("vout") == pytest.approx(2 * VREF, abs=0.05)
+
+    def test_pass_device_carries_load(self):
+        op = operating_point(build_ldo(GOOD))
+        i_pass = abs(op.element_info("MP")["id"])
+        assert i_pass == pytest.approx(I_LOAD_NOM, rel=0.2)
+
+    def test_unequal_divider_shifts_vout(self):
+        params = dict(GOOD, R1=30.0, R2=20.0)
+        op = operating_point(build_ldo(params))
+        assert op.v("vout") == pytest.approx(VREF * (1 + 30 / 20), abs=0.1)
+
+
+class TestMetrics:
+    def test_all_metrics_present(self, task, good_metrics):
+        for name in task.metric_names:
+            assert name in good_metrics, name
+
+    def test_good_design_feasible(self, task):
+        mv = task.evaluate(task.space.normalize(GOOD))
+        assert task.is_feasible(mv)
+
+    def test_quiescent_current_excludes_load(self, good_metrics):
+        assert 0.0 < good_metrics["qc"] < 5e-3
+
+    def test_vout_in_window(self, good_metrics):
+        assert 1.75 < good_metrics["vout"] < 1.85
+
+    def test_divider_current_in_qc(self, task):
+        """Smaller divider resistors burn more quiescent current."""
+        hungry = dict(GOOD, R1=2.0, R2=2.0)
+        qc_hungry = task.measure(hungry)["qc"]
+        qc_good = task.measure(GOOD)["qc"]
+        assert qc_hungry > qc_good + 1e-4
+
+
+class TestRobustness:
+    def test_corners_finite(self, task):
+        for u in (np.zeros(task.d), np.ones(task.d)):
+            assert np.all(np.isfinite(task.evaluate(u)))
+
+    def test_failed_op_gives_infeasible(self, task):
+        mv = task.evaluate(np.zeros(task.d))
+        assert not task.is_feasible(mv)

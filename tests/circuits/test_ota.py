@@ -1,0 +1,102 @@
+"""Behavioural tests for the two-stage OTA task (few, real simulations)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import TwoStageOTA
+from repro.circuits.ota import VDD, build_ota
+from repro.spice import operating_point
+
+# A known-good sizing (validated during bench calibration).
+GOOD = {
+    "L1": 0.4, "L2": 0.5, "L3": 1.0, "L4": 0.5, "L5": 0.5,
+    "W1": 60.0, "W2": 15.0, "W3": 20.0, "W4": 30.0, "W5": 10.0,
+    "R": 57.5, "C": 300.0, "Cf": 800.0,
+    "N1": 1, "N2": 10, "N3": 10,
+}
+
+
+@pytest.fixture(scope="module")
+def task():
+    return TwoStageOTA(fidelity="fast")
+
+
+@pytest.fixture(scope="module")
+def good_metrics(task):
+    return task.measure(GOOD)
+
+
+class TestNetlist:
+    def test_node_set(self):
+        ckt = build_ota(GOOD)
+        for node in ("vdd", "inn", "inp", "tail", "d1", "out1", "out", "nb"):
+            assert ckt.node_index(node) >= 0
+
+    def test_closed_loop_removes_vn(self):
+        ckt = build_ota(GOOD, closed_loop=True)
+        assert "Vn" not in ckt
+        assert "Rfb" in ckt
+
+    def test_multipliers_applied(self):
+        ckt = build_ota(GOOD)
+        assert ckt["M6"].m == 10
+        assert ckt["M7"].m == 10
+
+    def test_symmetric_first_stage_op(self):
+        op = operating_point(build_ota(GOOD))
+        # matched pair + mirror: out1 ~ d1
+        assert abs(op.v("out1") - op.v("d1")) < 0.05
+
+    def test_second_stage_quiescent_match(self):
+        op = operating_point(build_ota(GOOD, closed_loop=True))
+        i6 = abs(op.element_info("M6")["id"])
+        i7 = abs(op.element_info("M7")["id"])
+        assert i6 == pytest.approx(i7, rel=1e-3)
+
+
+class TestMetrics(object):
+    def test_all_metrics_present(self, task, good_metrics):
+        for name in task.metric_names:
+            assert name in good_metrics, name
+
+    def test_good_design_feasible(self, task, good_metrics):
+        mv = task.evaluate(task.space.normalize(GOOD))
+        assert task.is_feasible(mv)
+
+    def test_power_reasonable(self, good_metrics):
+        assert 1e-5 < good_metrics["power"] < 1e-2
+
+    def test_gain_above_spec(self, good_metrics):
+        assert good_metrics["dc_gain"] > 60.0
+
+    def test_swing_below_supply(self, good_metrics):
+        assert 0.0 < good_metrics["swing"] < VDD
+
+    def test_settling_positive(self, good_metrics):
+        assert 0.0 < good_metrics["settling"] < 400e-9
+
+    def test_bias_resistor_controls_power(self, task):
+        lo_r = dict(GOOD, R=20.0)
+        hi_r = dict(GOOD, R=100.0)
+        p_lo = task.measure(lo_r)["power"]
+        p_hi = task.measure(hi_r)["power"]
+        assert p_lo > p_hi  # smaller bias resistor -> more current
+
+
+class TestRobustness:
+    def test_extreme_corner_returns_finite_vector(self, task):
+        mv = task.evaluate(np.zeros(task.d))
+        assert np.all(np.isfinite(mv))
+
+    def test_opposite_corner_finite(self, task):
+        mv = task.evaluate(np.ones(task.d))
+        assert np.all(np.isfinite(mv))
+
+    def test_corner_is_infeasible(self, task):
+        assert not task.is_feasible(task.evaluate(np.zeros(task.d)))
+
+    def test_task_picklable(self, task):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.d == task.d

@@ -1,0 +1,43 @@
+"""PVT-awareness tests for the circuit tasks."""
+
+import pytest
+
+from repro.circuits import LDORegulator, ThreeStageTIA, TwoStageOTA
+from tests.circuits.test_ota import GOOD as OTA_GOOD
+
+
+class TestTemperature:
+    def test_tasks_accept_temp(self):
+        for cls in (TwoStageOTA, ThreeStageTIA, LDORegulator):
+            task = cls(temp_c=85.0)
+            assert task.temp_c == 85.0
+            assert "85" in task.nmos.name
+
+    def test_hot_ota_burns_more_power(self):
+        hot = TwoStageOTA(temp_c=125.0)
+        nom = TwoStageOTA()
+        u_hot = hot.space.normalize(OTA_GOOD)
+        p_hot = hot.evaluate(u_hot)[0]
+        p_nom = nom.evaluate(u_hot)[0]
+        # the bias resistor current rises as VGS(MB) drops with temperature
+        assert p_hot > p_nom
+
+    def test_hot_ota_loses_gain(self):
+        hot = TwoStageOTA(temp_c=125.0)
+        nom = TwoStageOTA()
+        u = nom.space.normalize(OTA_GOOD)
+        assert hot.evaluate(u)[1] < nom.evaluate(u)[1]
+
+    def test_none_temp_is_nominal(self):
+        task = TwoStageOTA()
+        assert task.temp_c is None
+        assert task.nmos.name == "nmos180"
+
+
+class TestCornerTimesTemperature:
+    def test_combined_pvt(self):
+        task = TwoStageOTA(corner="ss", temp_c=125.0)
+        # slow corner raises vto by 50 mV, heat drops it ~0.1 V: both applied
+        assert "125" in task.nmos.name
+        nominal = TwoStageOTA()
+        assert task.nmos.kp < nominal.nmos.kp  # ss and heat both degrade kp

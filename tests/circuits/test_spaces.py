@@ -1,0 +1,107 @@
+"""The design spaces must match the paper's Tables I, III and V exactly."""
+
+import pytest
+
+from repro.circuits import LDORegulator, ThreeStageTIA, TwoStageOTA
+
+
+class TestTable1OTA:
+    @pytest.fixture(scope="class")
+    def task(self):
+        return TwoStageOTA()
+
+    def test_dimensionality(self, task):
+        assert task.d == 16  # paper: "total 16 design parameters"
+
+    def test_length_ranges(self, task):
+        for i in range(1, 6):
+            p = task.space[f"L{i}"]
+            assert (p.low, p.high) == (0.18, 2.0)
+            assert not p.integer
+
+    def test_width_ranges(self, task):
+        for i in range(1, 6):
+            p = task.space[f"W{i}"]
+            assert (p.low, p.high) == (0.22, 150.0)
+
+    def test_r_c_cf_ranges(self, task):
+        assert (task.space["R"].low, task.space["R"].high) == (0.1, 100.0)
+        assert (task.space["C"].low, task.space["C"].high) == (100.0, 2000.0)
+        assert (task.space["Cf"].low, task.space["Cf"].high) == (100.0, 10000.0)
+
+    def test_multipliers_integer(self, task):
+        for i in range(1, 4):
+            p = task.space[f"N{i}"]
+            assert p.integer
+            assert (p.low, p.high) == (1, 20)
+
+    def test_constraint_set_eq7(self, task):
+        specs = {s.name: (s.kind, s.bound) for s in task.specs}
+        assert specs["dc_gain"] == (">", 60.0)
+        assert specs["cmrr"] == (">", 80.0)
+        assert specs["psrr"] == (">", 80.0)
+        assert specs["pm"] == (">", 60.0)
+        assert specs["settling"] == ("<", 100e-9)
+        assert specs["ugf"] == (">", 30e6)
+        assert specs["swing"] == (">", 1.5)
+        assert specs["noise"] == ("<", 30e-3)
+        assert task.target.name == "power"
+
+
+class TestTable3TIA:
+    @pytest.fixture(scope="class")
+    def task(self):
+        return ThreeStageTIA()
+
+    def test_dimensionality(self, task):
+        assert task.d == 15  # paper: "total 15 design parameters"
+
+    def test_ranges(self, task):
+        assert (task.space["L1"].low, task.space["L1"].high) == (0.18, 2.0)
+        assert (task.space["W1"].low, task.space["W1"].high) == (0.22, 150.0)
+        assert (task.space["R"].low, task.space["R"].high) == (0.1, 100.0)
+        assert (task.space["Cf"].low, task.space["Cf"].high) == (100.0, 2000.0)
+
+    def test_constraint_set_eq8(self, task):
+        specs = {s.name: (s.kind, s.bound) for s in task.specs}
+        assert specs["dc_gain"] == (">", 80.0)
+        assert specs["ugf"] == (">", 1e9)
+        assert specs["in_noise"] == ("<", 10e-12)
+        assert task.target.name == "power"
+
+
+class TestTable5LDO:
+    @pytest.fixture(scope="class")
+    def task(self):
+        return LDORegulator()
+
+    def test_dimensionality(self, task):
+        assert task.d == 16  # paper: "total 16 design parameters"
+
+    def test_ranges(self, task):
+        assert (task.space["L1"].low, task.space["L1"].high) == (0.32, 3.0)
+        assert (task.space["W1"].low, task.space["W1"].high) == (0.22, 200.0)
+        assert (task.space["R1"].low, task.space["R1"].high) == (1.0, 100.0)
+        assert (task.space["R2"].low, task.space["R2"].high) == (1.0, 100.0)
+        assert (task.space["C"].low, task.space["C"].high) == (100.0, 2000.0)
+
+    def test_constraint_set_eq9(self, task):
+        specs = {s.name: (s.kind, s.bound) for s in task.specs}
+        assert specs["vout"] == (">", 1.75)
+        assert specs["vout_hi"] == ("<", 1.85)
+        assert specs["load_reg"] == ("<", 0.1)
+        assert specs["line_reg"] == ("<", 0.1)
+        for key in ("t_load_up", "t_load_dn", "t_line_up", "t_line_dn"):
+            assert specs[key] == ("<", 35e-6)
+        assert specs["psrr"] == (">", 60.0)
+        assert task.target.name == "qc"
+        assert len(task.specs) == 9
+
+
+class TestParameterTables:
+    def test_table_rendering(self):
+        from repro.experiments import parameter_table
+
+        text = parameter_table(TwoStageOTA())
+        assert "L1" in text and "W5" in text and "Cf" in text
+        assert "[0.18, 2]" in text

@@ -1,0 +1,72 @@
+"""Behavioural tests for the three-stage TIA task."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import ThreeStageTIA
+from repro.circuits.tia import build_tia
+from repro.spice import operating_point
+
+GOOD = {
+    "L1": 0.35, "L2": 0.35, "L3": 0.25, "L4": 0.8, "L5": 0.8,
+    "W1": 80.0, "W2": 40.0, "W3": 80.0, "W4": 15.0, "W5": 7.0,
+    "R": 15.0, "Cf": 100.0, "N1": 3, "N2": 3, "N3": 8,
+}
+
+
+@pytest.fixture(scope="module")
+def task():
+    return ThreeStageTIA(fidelity="fast")
+
+
+@pytest.fixture(scope="module")
+def good_metrics(task):
+    return task.measure(GOOD)
+
+
+class TestNetlist:
+    def test_three_stages_present(self):
+        ckt = build_tia(GOOD)
+        for name in ("M1", "M2", "M3", "MP1", "MP2", "MP3"):
+            assert name in ckt
+
+    def test_feedback_injection_point(self):
+        ckt = build_tia(GOOD)
+        assert "Vinj" in ckt and "Rfb" in ckt and "Cfb" in ckt
+
+    def test_dc_bias_sane(self):
+        op = operating_point(build_tia(GOOD))
+        # input node sits near an NMOS VGS, output follows via feedback
+        assert 0.3 < op.v("in") < 1.0
+        assert 0.3 < op.v("out") < 1.5
+
+
+class TestMetrics:
+    def test_all_metrics_present(self, task, good_metrics):
+        for name in task.metric_names:
+            assert name in good_metrics, name
+
+    def test_good_design_feasible(self, task):
+        mv = task.evaluate(task.space.normalize(GOOD))
+        assert task.is_feasible(mv)
+
+    def test_zt_close_to_feedback_r(self, good_metrics):
+        """Closed-loop transimpedance ~ R_fb under high loop gain."""
+        assert good_metrics["zt_ohm"] == pytest.approx(15e3, rel=0.2)
+
+    def test_gain_bandwidth_tension(self, task):
+        """Longer channels raise gain but depress UGF."""
+        short = task.measure(dict(GOOD, L1=0.2, L2=0.2, L3=0.2))
+        long_ = task.measure(dict(GOOD, L1=1.5, L2=1.5, L3=1.5))
+        assert long_["dc_gain"] > short["dc_gain"]
+        if "ugf" in short and "ugf" in long_:
+            assert short["ugf"] > long_["ugf"]
+
+    def test_noise_spot_positive(self, good_metrics):
+        assert 0.0 < good_metrics["in_noise"] < 1e-9
+
+
+class TestRobustness:
+    def test_corners_finite(self, task):
+        for u in (np.zeros(task.d), np.ones(task.d)):
+            assert np.all(np.isfinite(task.evaluate(u)))

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sphere_task():
+    from repro.core.synthetic import ConstrainedSphere
+
+    return ConstrainedSphere(d=6, seed=3)
+
+
+@pytest.fixture
+def toy_task():
+    from repro.core.synthetic import QuadraticAmplifierToy
+
+    return QuadraticAmplifierToy()

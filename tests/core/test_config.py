@@ -1,0 +1,70 @@
+"""Unit tests for MAOptConfig and the variant presets."""
+
+import pytest
+
+from repro.core.config import MAOptConfig, VariantPreset
+
+
+class TestPresets:
+    def test_dnn_opt_single_actor_no_ns(self):
+        cfg = MAOptConfig.from_preset(VariantPreset.DNN_OPT)
+        assert cfg.n_actors == 1
+        assert cfg.near_sampling is False
+
+    def test_ma_opt1_individual_elites(self):
+        cfg = MAOptConfig.from_preset(VariantPreset.MA_OPT_1)
+        assert cfg.n_actors == 3
+        assert cfg.shared_elite is False
+        assert cfg.near_sampling is False
+
+    def test_ma_opt2_shared_no_ns(self):
+        cfg = MAOptConfig.from_preset(VariantPreset.MA_OPT_2)
+        assert cfg.n_actors == 3
+        assert cfg.shared_elite is True
+        assert cfg.near_sampling is False
+
+    def test_ma_opt_full(self):
+        cfg = MAOptConfig.from_preset(VariantPreset.MA_OPT)
+        assert cfg.n_actors == 3
+        assert cfg.shared_elite is True
+        assert cfg.near_sampling is True
+
+    def test_string_preset(self):
+        cfg = MAOptConfig.from_preset("ma-opt")
+        assert cfg.near_sampling is True
+
+    def test_overrides_applied(self):
+        cfg = MAOptConfig.from_preset("dnn-opt", n_elite=5, critic_steps=7)
+        assert cfg.n_elite == 5
+        assert cfg.critic_steps == 7
+
+    def test_seed_override(self):
+        cfg = MAOptConfig.from_preset("ma-opt", seed=99)
+        assert cfg.seed == 99
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError):
+            MAOptConfig.from_preset("nope")
+
+
+class TestValidation:
+    def test_paper_defaults(self):
+        cfg = MAOptConfig()
+        assert cfg.n_actors == 3          # paper: N_act = 3
+        assert cfg.t_ns == 5              # paper: T_NS = 5
+        assert cfg.ns_samples == 2000     # paper: N_samples = 2000
+        assert cfg.hidden == (100, 100)   # paper: 2 x 100 hidden
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_actors": 0},
+        {"n_elite": 0},
+        {"t_ns": 0},
+        {"ns_phase": 7, "t_ns": 5},
+        {"ns_samples": 0},
+        {"ns_radius": 0.0},
+        {"critic_steps": 0},
+        {"batch_size": 0},
+    ])
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            MAOptConfig(**kwargs)

@@ -1,0 +1,63 @@
+"""Tests for per-round optimizer diagnostics."""
+
+import numpy as np
+
+from repro.core.config import MAOptConfig
+from repro.core.ma_opt import MAOptimizer
+from repro.core.synthetic import ConstrainedSphere
+
+FAST = dict(critic_steps=10, actor_steps=5, batch_size=8, n_elite=5,
+            hidden=(8, 8))
+
+
+class TestDiagnostics:
+    def test_one_entry_per_round(self):
+        task = ConstrainedSphere(d=4, seed=0)
+        opt = MAOptimizer(task, MAOptConfig(seed=0, **FAST))
+        opt.initialize(n_init=10)
+        opt.step()
+        opt.step()
+        assert len(opt.diagnostics) == 2
+        assert opt.diagnostics[0]["round"] == 1
+
+    def test_actor_round_fields(self):
+        task = ConstrainedSphere(d=4, seed=0)
+        opt = MAOptimizer(task, MAOptConfig(seed=0, n_actors=3, **FAST))
+        opt.initialize(n_init=10)
+        opt.step()
+        d = opt.diagnostics[0]
+        assert d["kind"] == "actor"
+        assert np.isfinite(d["critic_loss"])
+        assert len(d["actor_losses"]) == 3
+        assert 0.0 <= d["elite_box_width"] <= 1.0
+        assert np.isfinite(d["best_fom"])
+
+    def test_ns_round_fields(self):
+        task = ConstrainedSphere(d=4, seed=0)
+        cfg = MAOptConfig(seed=0, t_ns=1, ns_samples=50, **FAST)
+        opt = MAOptimizer(task, cfg)
+        opt.initialize(n_init=30)
+        if not opt._specs_met():
+            import pytest
+
+            pytest.skip("init infeasible for this seed")
+        opt.step()
+        d = opt.diagnostics[0]
+        assert d["kind"] == "ns"
+        assert isinstance(d["improved"], bool)
+
+    def test_diagnostics_in_result_meta(self):
+        task = ConstrainedSphere(d=4, seed=0)
+        res = MAOptimizer(task, MAOptConfig(seed=0, **FAST)).run(
+            n_sims=6, n_init=8)
+        assert "diagnostics" in res.meta
+        assert len(res.meta["diagnostics"]) >= 2
+
+    def test_best_fom_diag_matches_trace(self):
+        task = ConstrainedSphere(d=4, seed=0)
+        opt = MAOptimizer(task, MAOptConfig(seed=0, **FAST))
+        opt.initialize(n_init=10)
+        for _ in range(3):
+            opt.step()
+        for d in opt.diagnostics:
+            assert d["best_fom"] <= opt.diagnostics[0]["best_fom"] + 1e-12

@@ -1,0 +1,129 @@
+"""Unit tests for the figure-of-merit function (Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fom import FigureOfMerit
+from repro.core.problem import SizingTask, Spec, Target
+from repro.core.space import DesignSpace, Parameter
+
+
+class _StubTask(SizingTask):
+    """Fixed specs so FoM values are hand-computable."""
+
+    def __init__(self):
+        self.name = "stub"
+        self.space = DesignSpace([Parameter("x", 0, 1)])
+        self.target = Target("t", weight=2.0)
+        self.specs = [
+            Spec("a", ">", 10.0, weight=1.0),
+            Spec("b", "<", 4.0, weight=3.0),
+        ]
+
+    def simulate(self, u):  # pragma: no cover - unused
+        return {}
+
+
+@pytest.fixture
+def fom():
+    return FigureOfMerit(_StubTask())
+
+
+class TestValue:
+    def test_feasible_design_pure_target(self, fom):
+        # a=20 satisfies >10; b=1 satisfies <4 -> g = w0 * t
+        assert fom(np.array([0.5, 20.0, 1.0])) == pytest.approx(1.0)
+
+    def test_single_violation_term(self, fom):
+        # a=5: violation (10-5)/10 = 0.5, w=1 -> term 0.5
+        g = fom(np.array([0.0, 5.0, 1.0]))
+        assert g == pytest.approx(0.5)
+
+    def test_violation_clipped_at_one(self, fom):
+        # a=-1000: massive violation, clipped to 1
+        g = fom(np.array([0.0, -1000.0, 1.0]))
+        assert g == pytest.approx(1.0)
+
+    def test_weight_scales_violation(self, fom):
+        # b=5: violation (5-4)/4 = 0.25, w=3 -> 0.75
+        g = fom(np.array([0.0, 20.0, 5.0]))
+        assert g == pytest.approx(0.75)
+
+    def test_target_weight_applied(self, fom):
+        g = fom(np.array([3.0, 20.0, 1.0]))
+        assert g == pytest.approx(6.0)
+
+    def test_batch_matches_scalar(self, fom, rng):
+        batch = rng.normal(size=(10, 3)) * 5 + 5
+        gb = fom(batch)
+        for k in range(10):
+            assert gb[k] == pytest.approx(fom(batch[k]))
+
+    def test_wrong_width_raises(self, fom):
+        with pytest.raises(ValueError):
+            fom(np.zeros(5))
+
+    def test_max_penalty_is_m(self, fom):
+        g = fom(np.array([0.0, -1e9, 1e9]))
+        assert g == pytest.approx(2.0)
+
+
+class TestGradient:
+    def test_target_gradient_is_w0(self, fom):
+        grad = fom.gradient(np.array([1.0, 20.0, 1.0]))
+        assert grad[0] == pytest.approx(2.0)
+
+    def test_satisfied_constraint_zero_gradient(self, fom):
+        grad = fom.gradient(np.array([1.0, 20.0, 1.0]))
+        assert grad[1] == 0.0
+        assert grad[2] == 0.0
+
+    def test_active_gt_constraint_negative_slope(self, fom):
+        # a=5 -> in the active band; dg/da = -w/|c| = -0.1
+        grad = fom.gradient(np.array([1.0, 5.0, 1.0]))
+        assert grad[1] == pytest.approx(-0.1)
+
+    def test_active_lt_constraint_positive_slope(self, fom):
+        grad = fom.gradient(np.array([1.0, 20.0, 4.5]))
+        assert grad[2] == pytest.approx(3.0 / 4.0)
+
+    def test_saturated_violation_zero_gradient(self, fom):
+        grad = fom.gradient(np.array([1.0, -1e9, 1.0]))
+        assert grad[1] == 0.0
+
+    def test_gradient_matches_finite_difference(self, fom, rng):
+        for _ in range(20):
+            mv = rng.uniform(-2, 25, size=3)
+            grad = fom.gradient(mv)
+            eps = 1e-7
+            for j in range(3):
+                hi = mv.copy()
+                hi[j] += eps
+                lo = mv.copy()
+                lo[j] -= eps
+                fd = (fom(hi) - fom(lo)) / (2 * eps)
+                # skip kink points where the subgradient differs
+                if abs(fd - grad[j]) > 1e-3:
+                    wv = fom._weights * fom.violations(mv[None, :])[0]
+                    near_kink = np.any(np.abs(wv) < 1e-5) or \
+                        np.any(np.abs(wv - 1.0) < 1e-5)
+                    assert near_kink, (mv, j, fd, grad[j])
+                else:
+                    assert grad[j] == pytest.approx(fd, abs=1e-5)
+
+
+class TestFeasibility:
+    def test_feasible_mask(self, fom):
+        batch = np.array([
+            [0.0, 20.0, 1.0],   # feasible
+            [0.0, 5.0, 1.0],    # violates a
+            [0.0, 20.0, 9.0],   # violates b
+        ])
+        np.testing.assert_array_equal(fom.is_feasible(batch),
+                                      [True, False, False])
+
+    def test_scalar_feasibility(self, fom):
+        assert fom.is_feasible(np.array([0.0, 20.0, 1.0])) is True
+
+    def test_boundary_counts_as_feasible(self, fom):
+        assert fom.is_feasible(np.array([0.0, 10.0, 4.0])) is True

@@ -1,0 +1,69 @@
+"""Tests for margin-shifted FoM evaluation (near-sampling conservatism)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fom import FigureOfMerit
+from repro.core.problem import SizingTask, Spec, Target
+from repro.core.space import DesignSpace, Parameter
+
+
+class _Task(SizingTask):
+    def __init__(self):
+        self.name = "m"
+        self.space = DesignSpace([Parameter("x", 0, 1)])
+        self.target = Target("t")
+        self.specs = [Spec("a", ">", 10.0), Spec("b", "<", 4.0)]
+
+    def simulate(self, u):  # pragma: no cover
+        return {}
+
+
+@pytest.fixture
+def fom():
+    return FigureOfMerit(_Task())
+
+
+class TestWithMargin:
+    def test_zero_margin_identity(self, fom):
+        mv = np.array([1.0, 12.0, 3.0])
+        np.testing.assert_array_equal(fom.with_margin(mv, 0.0), mv)
+
+    def test_gt_metric_shifted_down(self, fom):
+        mv = np.array([1.0, 12.0, 3.0])
+        out = fom.with_margin(mv, 0.1)
+        assert out[1] == pytest.approx(11.0)  # 12 - 0.1*10
+
+    def test_lt_metric_shifted_up(self, fom):
+        mv = np.array([1.0, 12.0, 3.0])
+        out = fom.with_margin(mv, 0.1)
+        assert out[2] == pytest.approx(3.4)  # 3 + 0.1*4
+
+    def test_target_untouched(self, fom):
+        mv = np.array([1.0, 12.0, 3.0])
+        assert fom.with_margin(mv, 0.5)[0] == 1.0
+
+    def test_marginally_feasible_becomes_infeasible(self, fom):
+        mv = np.array([0.0, 10.2, 3.9])  # 2% margins
+        assert fom.is_feasible(mv)
+        shifted = fom.with_margin(mv, 0.05)
+        assert not fom.is_feasible(shifted)
+
+    def test_robust_design_stays_feasible(self, fom):
+        mv = np.array([0.0, 20.0, 1.0])
+        assert fom.is_feasible(fom.with_margin(mv, 0.05))
+
+    def test_negative_margin_raises(self, fom):
+        with pytest.raises(ValueError):
+            fom.with_margin(np.zeros(3), -0.1)
+
+    def test_original_not_mutated(self, fom):
+        mv = np.array([1.0, 12.0, 3.0])
+        fom.with_margin(mv, 0.1)
+        np.testing.assert_array_equal(mv, [1.0, 12.0, 3.0])
+
+    def test_batch_shift(self, fom, rng):
+        batch = rng.uniform(0, 20, size=(6, 3))
+        out = fom.with_margin(batch, 0.1)
+        np.testing.assert_allclose(out[:, 1], batch[:, 1] - 1.0)
+        np.testing.assert_allclose(out[:, 2], batch[:, 2] + 0.4)

@@ -1,0 +1,162 @@
+"""Integration-level tests for the MAOptimizer (Algorithms 1 & 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MAOptConfig, VariantPreset
+from repro.core.ma_opt import MAOptimizer
+from repro.core.synthetic import ConstrainedSphere, QuadraticAmplifierToy
+
+FAST = dict(critic_steps=25, actor_steps=12, batch_size=32, n_elite=8)
+
+
+def make_opt(preset=VariantPreset.MA_OPT, seed=0, task=None, **over):
+    task = task or ConstrainedSphere(d=6, seed=1)
+    cfg = MAOptConfig.from_preset(preset, seed=seed, **{**FAST, **over})
+    return MAOptimizer(task, cfg)
+
+
+class TestInitialization:
+    def test_initialize_simulates_n_init(self):
+        opt = make_opt()
+        opt.initialize(n_init=15)
+        assert len(opt.total) == 15
+
+    def test_initialize_with_shared_set(self, rng):
+        task = ConstrainedSphere(d=6, seed=1)
+        x = task.space.sample(rng, 10)
+        f = task.evaluate_batch(x)
+        opt = make_opt(task=task)
+        opt.initialize(x_init=x, f_init=f)
+        assert len(opt.total) == 10
+        np.testing.assert_allclose(opt.total.designs, x)
+
+    def test_double_initialize_raises(self):
+        opt = make_opt()
+        opt.initialize(n_init=5)
+        with pytest.raises(RuntimeError):
+            opt.initialize(n_init=5)
+
+    def test_step_before_initialize_raises(self):
+        with pytest.raises(RuntimeError):
+            make_opt().step()
+
+    def test_mismatched_init_raises(self, rng):
+        task = ConstrainedSphere(d=6, seed=1)
+        opt = make_opt(task=task)
+        with pytest.raises(ValueError):
+            opt.initialize(x_init=task.space.sample(rng, 5),
+                           f_init=np.zeros((4, task.m + 1)))
+
+
+class TestRounds:
+    def test_optimization_round_spends_n_actors_sims(self):
+        opt = make_opt()
+        opt.initialize(n_init=12)
+        recs = opt.step()
+        assert len(recs) == 3
+        assert all(r.kind == "actor" for r in recs)
+        assert sorted(r.owner for r in recs) == [0, 1, 2]
+
+    def test_budget_truncates_round(self):
+        opt = make_opt()
+        opt.initialize(n_init=12)
+        recs = opt.step(budget=2)
+        assert len(recs) == 2
+
+    def test_dnn_opt_single_sim_per_round(self):
+        opt = make_opt(VariantPreset.DNN_OPT)
+        opt.initialize(n_init=12)
+        assert len(opt.step()) == 1
+
+    def test_near_sampling_fires_when_feasible(self):
+        """Force feasibility and the right round phase; the step must be a
+        near-sampling round with exactly one simulation."""
+        opt = make_opt(t_ns=1, ns_phase=0, ns_samples=50)
+        opt.initialize(n_init=30)
+        if not opt._specs_met():
+            pytest.skip("init set happened to be infeasible for this seed")
+        recs = opt.step()
+        assert len(recs) == 1
+        assert recs[0].kind == "ns"
+
+    def test_no_near_sampling_when_infeasible(self):
+        task = ConstrainedSphere(d=6, seed=1, gain_min=1e9)  # unsatisfiable
+        opt = make_opt(task=task, t_ns=1, ns_phase=0)
+        opt.initialize(n_init=10)
+        recs = opt.step()
+        assert all(r.kind == "actor" for r in recs)
+
+    def test_ma_opt2_never_near_samples(self):
+        opt = make_opt(VariantPreset.MA_OPT_2, t_ns=1)
+        opt.initialize(n_init=30)
+        for _ in range(3):
+            recs = opt.step()
+            assert all(r.kind == "actor" for r in recs)
+
+
+class TestRun:
+    def test_budget_respected_exactly(self):
+        res = make_opt().run(n_sims=20, n_init=10)
+        assert res.n_sims == 20
+        assert len(res.records) == 20
+
+    def test_deterministic_given_seed(self):
+        r1 = make_opt(seed=7).run(n_sims=12, n_init=8)
+        r2 = make_opt(seed=7).run(n_sims=12, n_init=8)
+        np.testing.assert_allclose(r1.foms, r2.foms)
+
+    def test_different_seeds_differ(self):
+        r1 = make_opt(seed=1).run(n_sims=12, n_init=8)
+        r2 = make_opt(seed=2).run(n_sims=12, n_init=8)
+        assert not np.allclose(r1.foms, r2.foms)
+
+    def test_improves_over_initial_set(self):
+        res = make_opt(seed=3).run(n_sims=45, n_init=20)
+        assert res.best_fom < res.init_best_fom
+
+    def test_beats_random_search_on_sphere(self, rng):
+        """Seed-averaged: MA-Opt's mean best FoM beats an equal-budget
+        random search (individual seeds are too noisy at this tiny scale)."""
+        task = ConstrainedSphere(d=6, seed=1)
+        from repro.core.fom import FigureOfMerit
+
+        fom = FigureOfMerit(task)
+        g_rand = np.mean([
+            float(np.min(fom(task.evaluate_batch(task.space.sample(rng, 65)))))
+            for _ in range(3)
+        ])
+        g_ma = np.mean([
+            make_opt(task=task, seed=s).run(n_sims=45, n_init=20).best_fom
+            for s in (3, 4, 5)
+        ])
+        assert g_ma < g_rand
+
+    def test_default_method_names(self):
+        for preset, name in [(VariantPreset.DNN_OPT, "DNN-Opt"),
+                             (VariantPreset.MA_OPT_1, "MA-Opt1"),
+                             (VariantPreset.MA_OPT_2, "MA-Opt2"),
+                             (VariantPreset.MA_OPT, "MA-Opt")]:
+            res = make_opt(preset).run(n_sims=4, n_init=6)
+            assert res.method == name
+
+    def test_records_track_feasibility(self):
+        task = QuadraticAmplifierToy()
+        res = make_opt(task=task, seed=5).run(n_sims=30, n_init=15)
+        for r in res.records:
+            assert r.feasible == task.is_feasible(r.metrics)
+
+    def test_wall_time_recorded(self):
+        res = make_opt().run(n_sims=6, n_init=6)
+        assert res.wall_time_s > 0.0
+
+
+class TestEliteWiring:
+    def test_shared_mode_single_view(self):
+        opt = make_opt(VariantPreset.MA_OPT_2)
+        assert all(e is opt.global_elite for e in opt.actor_elites)
+
+    def test_individual_mode_distinct_views(self):
+        opt = make_opt(VariantPreset.MA_OPT_1)
+        owners = [e.owner for e in opt.actor_elites]
+        assert owners == [0, 1, 2]

@@ -1,0 +1,67 @@
+"""Unit tests for the near-sampling method (Alg. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fom import FigureOfMerit
+from repro.core.near_sampling import near_sample_candidates, near_sampling_proposal
+from repro.core.networks import Critic
+from repro.core.synthetic import ConstrainedSphere
+
+
+class TestCandidates:
+    def test_within_radius(self, rng):
+        x_opt = np.full(5, 0.5)
+        c = near_sample_candidates(x_opt, 0.05, 200, rng)
+        assert c.shape == (200, 5)
+        assert np.all(np.abs(c - x_opt) <= 0.05 + 1e-12)
+
+    def test_clipped_to_unit_cube(self, rng):
+        x_opt = np.array([0.01, 0.99])
+        c = near_sample_candidates(x_opt, 0.1, 500, rng)
+        assert np.all(c >= 0.0) and np.all(c <= 1.0)
+
+    def test_per_dimension_radius(self, rng):
+        x_opt = np.array([0.5, 0.5])
+        c = near_sample_candidates(x_opt, np.array([0.01, 0.3]), 500, rng)
+        assert np.max(np.abs(c[:, 0] - 0.5)) <= 0.01 + 1e-12
+        assert np.max(np.abs(c[:, 1] - 0.5)) > 0.05
+
+    def test_bad_params_raise(self, rng):
+        with pytest.raises(ValueError):
+            near_sample_candidates(np.zeros(2), 0.1, 0, rng)
+        with pytest.raises(ValueError):
+            near_sample_candidates(np.zeros(2), -0.1, 10, rng)
+
+
+class TestProposal:
+    def test_proposal_near_x_opt(self, rng):
+        task = ConstrainedSphere(d=4, seed=0)
+        fom = FigureOfMerit(task)
+        critic = Critic(task.d, task.m + 1, hidden=(16,), seed=0)
+        critic.fit_scaler(rng.normal(size=(20, task.m + 1)))
+        x_opt = np.full(4, 0.5)
+        p = near_sampling_proposal(critic, fom, x_opt, 0.05, 300, rng)
+        assert np.all(np.abs(p - x_opt) <= 0.05 + 1e-12)
+
+    def test_proposal_minimizes_predicted_fom(self, rng):
+        """With a critic trained on the true function, the proposal should
+        have a better true FoM than the average neighbour."""
+        task = ConstrainedSphere(d=3, seed=1)
+        fom = FigureOfMerit(task)
+        critic = Critic(task.d, task.m + 1, hidden=(48, 48), lr=3e-3, seed=0)
+        xs = task.space.sample(rng, 60)
+        mvs = task.evaluate_batch(xs)
+        critic.fit_scaler(mvs)
+        # train on identity-ish pseudo-samples around the best design
+        best = xs[int(np.argmin(fom(mvs)))]
+        for _ in range(400):
+            idx = rng.integers(0, len(xs), size=32)
+            tgt = rng.integers(0, len(xs), size=32)
+            inputs = np.concatenate([xs[idx], xs[tgt] - xs[idx]], axis=1)
+            critic.train_step(inputs, mvs[tgt])
+        p = near_sampling_proposal(critic, fom, best, 0.1, 500, rng)
+        neighbours = near_sample_candidates(best, 0.1, 200, rng)
+        g_p = fom(task.evaluate(p))
+        g_avg = np.mean(fom(task.evaluate_batch(neighbours)))
+        assert g_p < g_avg

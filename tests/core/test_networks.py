@@ -1,0 +1,87 @@
+"""Unit tests for the actor and critic network wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.core.networks import Actor, Critic, MetricScaler
+
+
+class TestMetricScaler:
+    def test_transform_inverse_roundtrip(self, rng):
+        s = MetricScaler(4)
+        data = rng.normal(5.0, 3.0, size=(50, 4))
+        s.fit(data)
+        scaled = s.transform(data)
+        np.testing.assert_allclose(s.inverse(scaled), data, atol=1e-9)
+
+    def test_transform_standardizes(self, rng):
+        s = MetricScaler(2)
+        data = rng.normal(100.0, 10.0, size=(500, 2))
+        s.fit(data)
+        z = s.transform(data)
+        assert abs(z.mean()) < 0.05
+        assert abs(z.std() - 1.0) < 0.05
+
+    def test_constant_column_floored(self):
+        s = MetricScaler(1)
+        s.fit(np.full((10, 1), 7.0))
+        assert s.std[0] == 1.0
+
+
+class TestCritic:
+    def test_predict_shapes(self, rng):
+        c = Critic(d=5, n_metrics=3, hidden=(16, 16), seed=0)
+        x = rng.uniform(size=(7, 5))
+        dx = rng.uniform(size=(7, 5)) * 0.1
+        out = c.predict(x, dx)
+        assert out.shape == (7, 3)
+
+    def test_predict_shape_mismatch_raises(self, rng):
+        c = Critic(d=5, n_metrics=3, seed=0)
+        with pytest.raises(ValueError):
+            c.predict(rng.uniform(size=(3, 5)), rng.uniform(size=(3, 4)))
+
+    def test_training_reduces_loss(self, rng):
+        c = Critic(d=3, n_metrics=2, hidden=(32, 32), lr=3e-3, seed=0)
+        # Learnable map: metrics = [sum(x+dx), product-ish]
+        x = rng.uniform(size=(256, 3))
+        dx = rng.uniform(-0.2, 0.2, size=(256, 3))
+        nxt = x + dx
+        y = np.stack([nxt.sum(axis=1), nxt[:, 0] * 2.0], axis=1)
+        c.fit_scaler(y)
+        inputs = np.concatenate([x, dx], axis=1)
+        first = c.train_step(inputs, y)
+        for _ in range(200):
+            last = c.train_step(inputs, y)
+        assert last < 0.3 * first
+
+    def test_predictions_in_raw_units(self, rng):
+        """After scaler fit on large-magnitude metrics, predictions come
+        back in that magnitude (not z-scores)."""
+        c = Critic(d=2, n_metrics=1, hidden=(8,), seed=0)
+        y = rng.normal(1e6, 1e5, size=(50, 1))
+        c.fit_scaler(y)
+        pred = c.predict(rng.uniform(size=(5, 2)),
+                         rng.uniform(size=(5, 2)))
+        assert np.all(np.abs(pred) > 1e4)
+
+
+class TestActor:
+    def test_action_bounded_by_scale(self, rng):
+        a = Actor(d=4, hidden=(16,), action_scale=0.5, seed=0)
+        acts = a.act(rng.uniform(size=(20, 4)))
+        assert np.all(np.abs(acts) <= 0.5)
+
+    def test_single_input_returns_1d(self):
+        a = Actor(d=4, hidden=(8,), seed=0)
+        assert a.act(np.zeros(4)).shape == (4,)
+
+    def test_different_seeds_give_different_policies(self, rng):
+        x = rng.uniform(size=(5, 3))
+        a1 = Actor(d=3, seed=1).act(x)
+        a2 = Actor(d=3, seed=2).act(x)
+        assert not np.allclose(a1, a2)
+
+    def test_bad_scale_raises(self):
+        with pytest.raises(ValueError):
+            Actor(d=3, action_scale=0.0)

@@ -1,0 +1,45 @@
+"""Unit tests for the parallel simulation executor."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import SimulationExecutor
+from repro.core.synthetic import ConstrainedSphere
+
+
+class TestSerial:
+    def test_matches_direct_evaluation(self, rng):
+        task = ConstrainedSphere(d=4, seed=0)
+        ex = SimulationExecutor(task, n_workers=0)
+        us = task.space.sample(rng, 5)
+        out = ex.evaluate_batch(us)
+        np.testing.assert_allclose(out, task.evaluate_batch(us))
+
+    def test_single_design(self):
+        task = ConstrainedSphere(d=4, seed=0)
+        ex = SimulationExecutor(task, n_workers=0)
+        out = ex.evaluate_batch(np.full(4, 0.5))
+        assert out.shape == (1, task.m + 1)
+
+    def test_negative_workers_raise(self):
+        with pytest.raises(ValueError):
+            SimulationExecutor(ConstrainedSphere(d=2), n_workers=-1)
+
+    def test_close_idempotent(self):
+        ex = SimulationExecutor(ConstrainedSphere(d=2), n_workers=0)
+        ex.close()
+        ex.close()
+
+
+@pytest.mark.slow
+class TestParallel:
+    def test_parallel_matches_serial(self, rng):
+        task = ConstrainedSphere(d=4, seed=0)
+        us = task.space.sample(rng, 6)
+        serial = SimulationExecutor(task, n_workers=0).evaluate_batch(us)
+        ex = SimulationExecutor(task, n_workers=2)
+        try:
+            parallel = ex.evaluate_batch(us)
+        finally:
+            ex.close()
+        np.testing.assert_allclose(parallel, serial)

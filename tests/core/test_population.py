@@ -1,0 +1,126 @@
+"""Unit tests for TotalDesignSet and EliteSet (shared vs individual)."""
+
+import numpy as np
+import pytest
+
+from repro.core.population import EliteSet, TotalDesignSet
+
+
+def make_total(d=3, n_metrics=2):
+    return TotalDesignSet(d, n_metrics)
+
+
+class TestTotalDesignSet:
+    def test_add_and_len(self, rng):
+        total = make_total()
+        for i in range(5):
+            total.add(rng.uniform(size=3), rng.uniform(size=2), fom=float(i))
+        assert len(total) == 5
+
+    def test_shape_validation(self):
+        total = make_total()
+        with pytest.raises(ValueError):
+            total.add(np.zeros(4), np.zeros(2), 0.0)
+        with pytest.raises(ValueError):
+            total.add(np.zeros(3), np.zeros(3), 0.0)
+
+    def test_best_is_min_fom(self, rng):
+        total = make_total()
+        foms = [3.0, 1.0, 2.0]
+        for g in foms:
+            total.add(rng.uniform(size=3), rng.uniform(size=2), g)
+        x, f, g = total.best()
+        assert g == 1.0
+        assert total.best_index() == 1
+
+    def test_best_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            make_total().best()
+
+    def test_metric_stats_floors_std(self):
+        total = make_total(n_metrics=2)
+        for _ in range(3):
+            total.add(np.zeros(3), np.array([5.0, 5.0]), 0.0)
+        mean, std = total.metric_stats()
+        np.testing.assert_allclose(mean, [5.0, 5.0])
+        np.testing.assert_allclose(std, [1.0, 1.0])  # floored
+
+    def test_designs_and_metrics_copies(self, rng):
+        total = make_total()
+        total.add(rng.uniform(size=3), rng.uniform(size=2), 0.0)
+        d = total.designs
+        d[0, 0] = 99.0
+        assert total.designs[0, 0] != 99.0
+
+
+class TestSharedElite:
+    def test_keeps_best_n(self, rng):
+        total = make_total()
+        for i in range(10):
+            total.add(rng.uniform(size=3), rng.uniform(size=2), fom=float(i))
+        elite = EliteSet(total, n_es=3)
+        np.testing.assert_array_equal(elite.indices(), [0, 1, 2])
+
+    def test_updates_as_designs_arrive(self, rng):
+        total = make_total()
+        elite = EliteSet(total, n_es=2)
+        total.add(rng.uniform(size=3), rng.uniform(size=2), fom=5.0)
+        total.add(rng.uniform(size=3), rng.uniform(size=2), fom=4.0)
+        assert set(elite.indices()) == {0, 1}
+        total.add(rng.uniform(size=3), rng.uniform(size=2), fom=1.0)
+        assert 2 in elite.indices()
+        assert 0 not in elite.indices()
+
+    def test_best(self, rng):
+        total = make_total()
+        x0 = rng.uniform(size=3)
+        total.add(x0, rng.uniform(size=2), fom=0.5)
+        total.add(rng.uniform(size=3), rng.uniform(size=2), fom=2.0)
+        elite = EliteSet(total, n_es=2)
+        x, g = elite.best()
+        np.testing.assert_allclose(x, x0)
+        assert g == 0.5
+
+    def test_bounds_envelope(self):
+        total = make_total(d=2)
+        total.add(np.array([0.1, 0.9]), np.zeros(2), 1.0)
+        total.add(np.array([0.5, 0.2]), np.zeros(2), 2.0)
+        elite = EliteSet(total, n_es=2)
+        lb, ub = elite.bounds()
+        np.testing.assert_allclose(lb, [0.1, 0.2])
+        np.testing.assert_allclose(ub, [0.5, 0.9])
+
+    def test_bad_size_raises(self):
+        with pytest.raises(ValueError):
+            EliteSet(make_total(), n_es=0)
+
+    def test_empty_elite_bounds_raise(self):
+        with pytest.raises(ValueError):
+            EliteSet(make_total(), n_es=2).bounds()
+
+
+class TestIndividualElite:
+    def test_sees_only_own_and_init(self, rng):
+        """Fig. 2a: actor i's elite set ranks init designs (owner None)
+        plus its own simulations only."""
+        total = make_total()
+        total.add(rng.uniform(size=3), rng.uniform(size=2), 5.0, owner=None)
+        total.add(rng.uniform(size=3), rng.uniform(size=2), 1.0, owner=0)
+        total.add(rng.uniform(size=3), rng.uniform(size=2), 0.5, owner=1)
+        e0 = EliteSet(total, n_es=2, owner=0)
+        e1 = EliteSet(total, n_es=2, owner=1)
+        assert set(e0.indices()) == {0, 1}
+        assert set(e1.indices()) == {0, 2}
+
+    def test_update_rate_asymmetry(self, rng):
+        """The paper's argument for sharing: a shared set can absorb
+        N_act new elites per round, an individual one at most 1."""
+        total = make_total()
+        # round: 3 actors each simulate one strictly-better design
+        for actor in range(3):
+            total.add(rng.uniform(size=3), rng.uniform(size=2),
+                      fom=-1.0 - actor, owner=actor)
+        shared = EliteSet(total, n_es=3, owner=None)
+        indiv = EliteSet(total, n_es=3, owner=0)
+        assert len(shared.indices()) == 3       # all three absorbed
+        assert len(indiv.indices()) == 1        # only its own

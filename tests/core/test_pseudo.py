@@ -1,0 +1,78 @@
+"""Unit tests for pseudo-sample generation (Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.population import TotalDesignSet
+from repro.core.pseudo import all_pseudo_samples, pseudo_sample_batch
+
+
+@pytest.fixture
+def total(rng):
+    t = TotalDesignSet(d=4, n_metrics=3)
+    for _ in range(6):
+        t.add(rng.uniform(size=4), rng.uniform(size=3), fom=rng.uniform())
+    return t
+
+
+class TestBatch:
+    def test_shapes(self, total, rng):
+        x, y = pseudo_sample_batch(total, 32, rng)
+        assert x.shape == (32, 8)
+        assert y.shape == (32, 3)
+
+    def test_eq3_consistency(self, total, rng):
+        """Every pseudo-sample must satisfy x_i + dx = some design x_j with
+        target f(x_j)."""
+        x, y = pseudo_sample_batch(total, 64, rng)
+        designs = total.designs
+        metrics = total.metrics
+        for row, target in zip(x, y):
+            xi, dx = row[:4], row[4:]
+            xj = xi + dx
+            # xj must match a stored design exactly
+            dists = np.linalg.norm(designs - xj, axis=1)
+            j = int(np.argmin(dists))
+            assert dists[j] < 1e-12
+            np.testing.assert_allclose(target, metrics[j])
+
+    def test_identity_fraction(self, total, rng):
+        x, y = pseudo_sample_batch(total, 50, rng,
+                                   include_identity_fraction=0.2)
+        dx = x[:, 4:]
+        n_zero = int(np.sum(np.all(np.abs(dx) < 1e-15, axis=1)))
+        assert n_zero >= 10  # at least the forced share
+
+    def test_empty_total_raises(self, rng):
+        with pytest.raises(ValueError):
+            pseudo_sample_batch(TotalDesignSet(2, 2), 8, rng)
+
+    def test_bad_batch_raises(self, total, rng):
+        with pytest.raises(ValueError):
+            pseudo_sample_batch(total, 0, rng)
+
+    def test_bad_fraction_raises(self, total, rng):
+        with pytest.raises(ValueError):
+            pseudo_sample_batch(total, 8, rng, include_identity_fraction=2.0)
+
+
+class TestAllPairs:
+    def test_n_squared_pairs(self, total):
+        x, y = all_pseudo_samples(total)
+        assert x.shape == (36, 8)
+        assert y.shape == (36, 3)
+
+    def test_subsampling_cap(self, total, rng):
+        x, y = all_pseudo_samples(total, max_pairs=10, rng=rng)
+        assert x.shape == (10, 8)
+
+    def test_identity_pairs_present(self, total):
+        """The full pair set includes i==j 'no action' samples."""
+        x, _ = all_pseudo_samples(total)
+        dx = x[:, 4:]
+        n_zero = int(np.sum(np.all(np.abs(dx) < 1e-15, axis=1)))
+        assert n_zero == 6
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            all_pseudo_samples(TotalDesignSet(2, 2))

@@ -1,0 +1,83 @@
+"""Unit tests for OptimizationResult."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import EvaluationRecord, OptimizationResult
+
+
+def rec(i, fom, feasible=False, target=1.0, kind="actor"):
+    return EvaluationRecord(
+        index=i, x=np.zeros(2), metrics=np.array([target, 0.0]),
+        fom=fom, kind=kind, feasible=feasible,
+    )
+
+
+class TestTrace:
+    def test_trace_starts_at_init_best(self):
+        res = OptimizationResult("t", "m", records=[rec(0, 5.0)],
+                                 init_best_fom=2.0)
+        trace = res.best_fom_trace()
+        assert trace[0] == 2.0
+        assert trace[1] == 2.0  # 5.0 doesn't improve
+
+    def test_trace_monotone_nonincreasing(self):
+        foms = [5.0, 3.0, 4.0, 1.0, 2.0]
+        res = OptimizationResult("t", "m",
+                                 records=[rec(i, f) for i, f in enumerate(foms)],
+                                 init_best_fom=4.5)
+        trace = res.best_fom_trace()
+        assert all(b <= a for a, b in zip(trace, trace[1:]))
+        assert trace[-1] == 1.0
+
+    def test_best_fom_includes_init(self):
+        res = OptimizationResult("t", "m", records=[rec(0, 5.0)],
+                                 init_best_fom=0.5)
+        assert res.best_fom == 0.5
+
+
+class TestFeasibility:
+    def test_success_flag(self):
+        res = OptimizationResult("t", "m", records=[rec(0, 1.0)],
+                                 init_best_fom=9.0)
+        assert not res.success
+        res.records.append(rec(1, 0.5, feasible=True))
+        assert res.success
+
+    def test_best_feasible_minimizes_target(self):
+        res = OptimizationResult("t", "m", records=[
+            rec(0, 1.0, feasible=True, target=3.0),
+            rec(1, 2.0, feasible=True, target=1.0),
+            rec(2, 0.1, feasible=False, target=0.1),
+        ], init_best_fom=9.0)
+        best = res.best_feasible()
+        assert best.metrics[0] == 1.0
+
+    def test_best_feasible_none_when_infeasible(self):
+        res = OptimizationResult("t", "m", records=[rec(0, 1.0)],
+                                 init_best_fom=9.0)
+        assert res.best_feasible() is None
+
+    def test_best_record(self):
+        res = OptimizationResult("t", "m", records=[
+            rec(0, 1.0), rec(1, 0.3), rec(2, 0.7)], init_best_fom=9.0)
+        assert res.best_record().fom == 0.3
+
+    def test_empty_result(self):
+        res = OptimizationResult("t", "m", init_best_fom=3.0)
+        assert res.best_record() is None
+        assert res.best_fom == 3.0
+        assert res.n_sims == 0
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        res = OptimizationResult("ota", "MA-Opt", records=[
+            rec(0, 0.4, feasible=True, target=1e-3)], init_best_fom=2.0,
+            wall_time_s=12.0)
+        s = res.summary()
+        assert s["task"] == "ota"
+        assert s["method"] == "MA-Opt"
+        assert s["success"] is True
+        assert s["best_feasible_target"] == pytest.approx(1e-3)
+        assert s["wall_time_s"] == 12.0

@@ -1,0 +1,97 @@
+"""Tests for the log-aware metric scaler."""
+
+import numpy as np
+import pytest
+
+from repro.core.networks import MetricScaler
+
+
+@pytest.fixture
+def scaler(rng):
+    s = MetricScaler(3, log_mask=np.array([False, True, True]),
+                     log_floors=np.array([1e-15, 1e3, 1e-12]))
+    data = np.column_stack([
+        rng.normal(60.0, 10.0, size=100),          # linear metric (dB)
+        10 ** rng.uniform(4, 9, size=100),          # frequency-like
+        10 ** rng.uniform(-11, -7, size=100),       # noise-like
+    ])
+    s.fit(data)
+    return s, data
+
+
+class TestRoundtrip:
+    def test_inverse_of_transform_is_identity(self, scaler):
+        s, data = scaler
+        np.testing.assert_allclose(s.inverse(s.transform(data)), data,
+                                   rtol=1e-9)
+
+    def test_transform_standardizes_log_columns(self, scaler):
+        s, data = scaler
+        z = s.transform(data)
+        assert abs(z.mean(axis=0)).max() < 1e-9
+        np.testing.assert_allclose(z.std(axis=0), 1.0, rtol=1e-6)
+
+    def test_floor_clamps_nonpositive_values(self):
+        s = MetricScaler(1, log_mask=np.array([True]),
+                         log_floors=np.array([1e3]))
+        s.fit(np.array([[1e6], [1e7]]))
+        z = s.transform(np.array([[0.0]]))
+        z_floor = s.transform(np.array([[1e3]]))
+        np.testing.assert_allclose(z, z_floor)
+
+    def test_inverse_never_overflows(self):
+        s = MetricScaler(1, log_mask=np.array([True]))
+        s.fit(np.array([[1.0], [10.0]]))
+        out = s.inverse(np.array([[1e4]]))  # absurd network output
+        assert np.isfinite(out).all()
+
+
+class TestJacobian:
+    def test_linear_column_jacobian_is_std(self, scaler):
+        s, data = scaler
+        jac = s.jacobian_from_raw(data)
+        np.testing.assert_allclose(jac[:, 0], s.std[0])
+
+    def test_log_column_jacobian_matches_finite_diff(self, scaler):
+        s, data = scaler
+        raw = data[:5]
+        z = s.transform(raw)
+        jac = s.jacobian_from_raw(raw)
+        eps = 1e-6
+        for col in (1, 2):
+            z_hi = z.copy()
+            z_hi[:, col] += eps
+            fd = (s.inverse(z_hi)[:, col] - raw[:, col]) / eps
+            np.testing.assert_allclose(jac[:, col], fd, rtol=1e-3)
+
+    def test_default_mask_all_linear(self, rng):
+        s = MetricScaler(2)
+        data = rng.normal(size=(50, 2))
+        s.fit(data)
+        jac = s.jacobian_from_raw(data)
+        np.testing.assert_allclose(jac, np.broadcast_to(s.std, jac.shape))
+
+    def test_mask_length_validated(self):
+        with pytest.raises(ValueError):
+            MetricScaler(3, log_mask=np.array([True]))
+
+
+class TestTaskMasks:
+    def test_circuit_tasks_expose_masks(self):
+        from repro.circuits import LDORegulator, ThreeStageTIA, TwoStageOTA
+
+        for cls in (TwoStageOTA, ThreeStageTIA, LDORegulator):
+            task = cls()
+            mask = task.metric_log_mask
+            floors = task.metric_log_floors
+            assert mask.shape == (task.m + 1,)
+            assert floors.shape == (task.m + 1,)
+            assert mask[0]  # power / qc always log-scaled
+
+    def test_ota_log_selection(self):
+        from repro.circuits import TwoStageOTA
+
+        task = TwoStageOTA()
+        flags = dict(zip(task.metric_names, task.metric_log_mask))
+        assert flags["ugf"] and flags["settling"] and flags["noise"]
+        assert not flags["dc_gain"] and not flags["pm"]

@@ -1,0 +1,112 @@
+"""Unit tests for DesignSpace / Parameter."""
+
+import numpy as np
+import pytest
+
+from repro.core.space import DesignSpace, Parameter
+
+
+class TestParameter:
+    def test_denormalize_endpoints(self):
+        p = Parameter("x", 2.0, 10.0)
+        assert p.denormalize(0.0) == 2.0
+        assert p.denormalize(1.0) == 10.0
+
+    def test_normalize_roundtrip(self):
+        p = Parameter("x", -5.0, 5.0)
+        for v in [-5.0, 0.0, 2.5, 5.0]:
+            assert p.denormalize(p.normalize(v)) == pytest.approx(v)
+
+    def test_integer_rounds(self):
+        p = Parameter("n", 1, 20, integer=True)
+        assert p.denormalize(0.0) == 1
+        assert p.denormalize(1.0) == 20
+        assert p.denormalize(0.5) == pytest.approx(round(1 + 0.5 * 19))
+        assert float(p.denormalize(0.49)).is_integer()
+
+    def test_integer_never_escapes_bounds(self):
+        p = Parameter("n", 1, 20, integer=True)
+        assert 1 <= p.denormalize(1e-9) <= 20
+        assert 1 <= p.denormalize(1 - 1e-9) <= 20
+
+    def test_bad_bounds_raise(self):
+        with pytest.raises(ValueError):
+            Parameter("x", 1.0, 1.0)
+
+    def test_empty_name_raises(self):
+        with pytest.raises(ValueError):
+            Parameter("", 0.0, 1.0)
+
+
+class TestDesignSpace:
+    def _space(self):
+        return DesignSpace([
+            Parameter("w", 0.22, 150.0, unit="um"),
+            Parameter("r", 0.1, 100.0, unit="kOhm"),
+            Parameter("n", 1, 20, integer=True),
+        ])
+
+    def test_dimensionality(self):
+        assert self._space().d == 3
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(ValueError):
+            DesignSpace([Parameter("a", 0, 1), Parameter("a", 0, 1)])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            DesignSpace([])
+
+    def test_sample_in_unit_cube(self, rng):
+        u = self._space().sample(rng, 50)
+        assert u.shape == (50, 3)
+        assert np.all(u >= 0.0) and np.all(u <= 1.0)
+
+    def test_sample_bad_n_raises(self, rng):
+        with pytest.raises(ValueError):
+            self._space().sample(rng, 0)
+
+    def test_denormalize_dict(self):
+        vals = self._space().denormalize(np.array([0.0, 1.0, 0.0]))
+        assert vals == {"w": 0.22, "r": 100.0, "n": 1}
+
+    def test_denormalize_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            self._space().denormalize(np.zeros(5))
+
+    def test_denormalize_array_matches_scalar(self, rng):
+        space = self._space()
+        u = space.sample(rng, 10)
+        arr = space.denormalize_array(u)
+        for k in range(10):
+            d = space.denormalize(u[k])
+            np.testing.assert_allclose(arr[k], [d["w"], d["r"], d["n"]])
+
+    def test_normalize_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            self._space().normalize({"w": 1.0})
+
+    def test_normalize_roundtrip(self, rng):
+        space = self._space()
+        u = space.sample(rng, 1)[0]
+        # integer dim quantizes, so only check the real dims roundtrip
+        vals = space.denormalize(u)
+        u2 = space.normalize(vals)
+        np.testing.assert_allclose(u2[:2], u[:2], atol=1e-12)
+
+    def test_clip(self):
+        space = self._space()
+        clipped = space.clip(np.array([-0.5, 0.5, 1.5]))
+        np.testing.assert_allclose(clipped, [0.0, 0.5, 1.0])
+
+    def test_getitem(self):
+        assert self._space()["r"].unit == "kOhm"
+
+    def test_table_rows(self):
+        rows = self._space().table()
+        assert len(rows) == 3
+        assert rows[2] == ("n", "integer", "[1, 20]")
+
+    def test_iteration_order(self):
+        names = [p.name for p in self._space()]
+        assert names == ["w", "r", "n"]

@@ -1,0 +1,80 @@
+"""Unit tests for the synthetic tasks."""
+
+import numpy as np
+import pytest
+
+from repro.core.fom import FigureOfMerit
+from repro.core.synthetic import (
+    ConstrainedSphere,
+    NoisyConstrainedSphere,
+    QuadraticAmplifierToy,
+)
+
+
+class TestConstrainedSphere:
+    def test_optimum_at_anchor(self):
+        task = ConstrainedSphere(d=5, seed=0)
+        assert task.simulate(task._a)["loss"] == pytest.approx(0.0)
+
+    def test_metrics_present(self):
+        task = ConstrainedSphere(d=5, seed=0)
+        m = task.simulate(np.full(5, 0.5))
+        assert set(m) == {"loss", "gain", "power"}
+
+    def test_feasible_region_nonempty(self, rng):
+        task = ConstrainedSphere(d=5, seed=0)
+        fv = task.evaluate_batch(task.space.sample(rng, 300))
+        assert any(task.is_feasible(f) for f in fv)
+
+    def test_infeasible_region_nonempty(self, rng):
+        task = ConstrainedSphere(d=5, seed=0)
+        fv = task.evaluate_batch(task.space.sample(rng, 300))
+        assert not all(task.is_feasible(f) for f in fv)
+
+    def test_deterministic(self):
+        task = ConstrainedSphere(d=5, seed=0)
+        u = np.full(5, 0.3)
+        np.testing.assert_allclose(task.evaluate(u), task.evaluate(u))
+
+    def test_picklable(self):
+        import pickle
+
+        task = ConstrainedSphere(d=5, seed=0)
+        clone = pickle.loads(pickle.dumps(task))
+        u = np.full(5, 0.4)
+        np.testing.assert_allclose(task.evaluate(u), clone.evaluate(u))
+
+
+class TestToyAmp:
+    def test_tradeoff_shape(self):
+        task = QuadraticAmplifierToy()
+        # max gain at w=1, i=0; max bw needs i>0
+        hi_gain = task.simulate(np.array([1.0, 0.0]))
+        hi_bw = task.simulate(np.array([1.0, 1.0]))
+        assert hi_gain["gain"] > hi_bw["gain"]
+        assert hi_bw["bw"] > hi_gain["bw"]
+
+    def test_power_equals_current(self):
+        task = QuadraticAmplifierToy()
+        assert task.simulate(np.array([0.3, 0.7]))["power"] == pytest.approx(0.7)
+
+    def test_feasible_exists(self):
+        task = QuadraticAmplifierToy()
+        mv = task.evaluate(np.array([0.9, 0.45]))
+        assert task.is_feasible(mv)
+
+
+class TestNoisySphere:
+    def test_noise_perturbs_metrics(self):
+        task = NoisyConstrainedSphere(d=4, seed=0, noise=0.05)
+        u = np.full(4, 0.5)
+        a = task.evaluate(u)
+        b = task.evaluate(u)
+        assert not np.allclose(a, b)
+
+    def test_noise_scale_bounded(self):
+        task = NoisyConstrainedSphere(d=4, seed=0, noise=0.01)
+        clean = ConstrainedSphere(d=4, seed=0)
+        u = np.full(4, 0.5)
+        ratios = [task.evaluate(u) / clean.evaluate(u) for _ in range(20)]
+        assert np.max(np.abs(np.array(ratios) - 1.0)) < 0.1

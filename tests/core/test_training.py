@@ -1,0 +1,166 @@
+"""Unit tests for critic/actor training (Eqs. 4-6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fom import FigureOfMerit
+from repro.core.networks import Actor, Critic
+from repro.core.population import EliteSet, TotalDesignSet
+from repro.core.synthetic import ConstrainedSphere
+from repro.core.training import (
+    boundary_violation,
+    propose_design,
+    train_actor,
+    train_critic,
+)
+
+
+@pytest.fixture
+def setup(rng):
+    task = ConstrainedSphere(d=4, seed=0)
+    fom = FigureOfMerit(task)
+    total = TotalDesignSet(task.d, task.m + 1)
+    xs = task.space.sample(rng, 40)
+    for x in xs:
+        mv = task.evaluate(x)
+        total.add(x, mv, float(fom(mv)))
+    critic = Critic(task.d, task.m + 1, hidden=(32, 32), seed=1)
+    actor = Actor(task.d, hidden=(32, 32), seed=2, action_scale=1.0)
+    elite = EliteSet(total, n_es=8)
+    return task, fom, total, critic, actor, elite
+
+
+class TestBoundaryViolation:
+    def test_inside_box_zero(self):
+        x = np.array([[0.5, 0.5]])
+        a = np.array([[0.0, 0.0]])
+        viol, dviol = boundary_violation(x, a, np.array([0.0, 0.0]),
+                                         np.array([1.0, 1.0]))
+        np.testing.assert_allclose(viol, 0.0)
+        np.testing.assert_allclose(dviol, 0.0)
+
+    def test_below_lower_bound(self):
+        x = np.array([[0.5]])
+        a = np.array([[-0.7]])
+        viol, dviol = boundary_violation(x, a, np.array([0.0]),
+                                         np.array([1.0]))
+        assert viol[0, 0] == pytest.approx(0.2)
+        assert dviol[0, 0] == -1.0
+
+    def test_above_upper_bound(self):
+        x = np.array([[0.5]])
+        a = np.array([[0.9]])
+        viol, dviol = boundary_violation(x, a, np.array([0.0]),
+                                         np.array([1.0]))
+        assert viol[0, 0] == pytest.approx(0.4)
+        assert dviol[0, 0] == 1.0
+
+    def test_eq6_definition(self, rng):
+        """viol = max(0, lb - (x+a)) + max(0, (x+a) - ub), elementwise."""
+        x = rng.uniform(-1, 2, size=(6, 3))
+        a = rng.uniform(-1, 1, size=(6, 3))
+        lb = np.full(3, 0.2)
+        ub = np.full(3, 0.8)
+        viol, _ = boundary_violation(x, a, lb, ub)
+        nxt = x + a
+        expected = np.maximum(0, lb - nxt) + np.maximum(0, nxt - ub)
+        np.testing.assert_allclose(viol, expected)
+
+
+class TestTrainCritic:
+    def test_loss_decreases(self, setup, rng):
+        _, _, total, critic, _, _ = setup
+        first = train_critic(critic, total, steps=5, batch_size=32, rng=rng)
+        last = train_critic(critic, total, steps=200, batch_size=32, rng=rng)
+        assert last < first
+
+    def test_critic_learns_simulator(self, setup, rng):
+        """After training, critic predictions at known pseudo-samples
+        correlate strongly with true metrics."""
+        task, _, total, critic, _, _ = setup
+        train_critic(critic, total, steps=400, batch_size=64, rng=rng)
+        designs = total.designs
+        metrics = total.metrics
+        preds = critic.predict(designs[:1].repeat(len(designs), axis=0),
+                               designs - designs[:1])
+        corr = np.corrcoef(preds[:, 0], metrics[:, 0])[0, 1]
+        assert corr > 0.8
+
+    def test_bad_steps_raise(self, setup, rng):
+        _, _, total, critic, _, _ = setup
+        with pytest.raises(ValueError):
+            train_critic(critic, total, steps=0, batch_size=8, rng=rng)
+
+
+class TestTrainActor:
+    def test_actor_loss_finite_and_policy_changes(self, setup, rng):
+        task, fom, total, critic, actor, elite = setup
+        train_critic(critic, total, steps=100, batch_size=32, rng=rng)
+        x_probe = total.designs[:5]
+        before = actor.act(x_probe)
+        loss = train_actor(actor, critic, fom, total, elite, steps=50,
+                           batch_size=16, lambda_viol=10.0, rng=rng)
+        after = actor.act(x_probe)
+        assert np.isfinite(loss)
+        assert not np.allclose(before, after)
+
+    def test_actor_improves_predicted_fom(self, setup, rng):
+        """Training should reduce the critic-predicted FoM of proposed
+        successors relative to the untrained policy."""
+        task, fom, total, critic, actor, elite = setup
+        train_critic(critic, total, steps=300, batch_size=64, rng=rng)
+        states = elite.designs()
+
+        def predicted_g(act):
+            return float(np.mean(fom(critic.predict(states, act.act(states)))))
+
+        g_before = predicted_g(actor)
+        train_actor(actor, critic, fom, total, elite, steps=150,
+                    batch_size=32, lambda_viol=10.0, rng=rng)
+        g_after = predicted_g(actor)
+        assert g_after < g_before
+
+    def test_violation_penalty_restrains_actions(self, setup, rng):
+        """With a huge lambda, trained actions keep x+a near the elite box."""
+        task, fom, total, critic, actor, elite = setup
+        train_critic(critic, total, steps=100, batch_size=32, rng=rng)
+        train_actor(actor, critic, fom, total, elite, steps=200,
+                    batch_size=32, lambda_viol=100.0, rng=rng)
+        lb, ub = elite.bounds()
+        states = total.designs
+        nxt = states + actor.act(states)
+        viol = np.maximum(0, lb - nxt) + np.maximum(0, nxt - ub)
+        assert np.mean(viol) < 0.2
+
+    def test_bad_steps_raise(self, setup, rng):
+        task, fom, total, critic, actor, elite = setup
+        with pytest.raises(ValueError):
+            train_actor(actor, critic, fom, total, elite, steps=0,
+                        batch_size=8, lambda_viol=1.0, rng=rng)
+
+
+class TestProposeDesign:
+    def test_proposal_in_unit_cube(self, setup, rng):
+        task, fom, total, critic, actor, elite = setup
+        p = propose_design(actor, critic, fom, elite)
+        assert p.shape == (task.d,)
+        assert np.all(p >= 0.0) and np.all(p <= 1.0)
+
+    def test_proposal_is_elite_plus_action(self, setup):
+        task, fom, total, critic, actor, elite = setup
+        p = propose_design(actor, critic, fom, elite)
+        states = elite.designs()
+        actions = actor.act(states)
+        succ = np.clip(states + actions, 0.0, 1.0)
+        dists = np.linalg.norm(succ - p, axis=1)
+        assert np.min(dists) < 1e-12
+
+    def test_picks_predicted_argmin(self, setup):
+        task, fom, total, critic, actor, elite = setup
+        states = elite.designs()
+        actions = actor.act(states)
+        g = fom(critic.predict(states, actions))
+        k = int(np.argmin(g))
+        expected = np.clip(states[k] + actions[k], 0.0, 1.0)
+        np.testing.assert_allclose(propose_design(actor, critic, fom, elite),
+                                   expected)

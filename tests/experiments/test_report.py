@@ -1,0 +1,31 @@
+"""Tests for the bench-report assembler."""
+
+import pathlib
+
+from repro.experiments.report import build_report
+
+
+class TestBuildReport:
+    def test_includes_existing_artifacts(self, tmp_path):
+        (tmp_path / "table1_ota_params.txt").write_text("OTA TABLE BODY")
+        text = build_report(tmp_path)
+        assert "OTA TABLE BODY" in text
+        assert "# MA-Opt reproduction" in text
+
+    def test_marks_missing_artifacts(self, tmp_path):
+        text = build_report(tmp_path)
+        assert "missing" in text
+        assert "table2_ota_comparison.txt" in text
+
+    def test_writes_output_file(self, tmp_path):
+        out = tmp_path / "REPORT.md"
+        build_report(tmp_path, out)
+        assert out.exists()
+        assert out.read_text().startswith("# MA-Opt reproduction")
+
+    def test_real_results_dir_if_present(self):
+        results = pathlib.Path("benchmarks/results")
+        if not results.exists():
+            return
+        text = build_report(results)
+        assert "Algorithm comparisons" in text

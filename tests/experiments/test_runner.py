@@ -1,0 +1,69 @@
+"""Tests for the shared-initial-set comparison protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.synthetic import ConstrainedSphere
+from repro.experiments import make_initial_set, run_comparison, run_method
+
+FAST = {"critic_steps": 20, "actor_steps": 10, "batch_size": 16, "n_elite": 6}
+
+
+@pytest.fixture
+def task():
+    return ConstrainedSphere(d=5, seed=4)
+
+
+class TestInitialSet:
+    def test_shapes(self, task):
+        x, f = make_initial_set(task, 12, seed=0)
+        assert x.shape == (12, 5)
+        assert f.shape == (12, task.m + 1)
+
+    def test_seeded_reproducibility(self, task):
+        x1, _ = make_initial_set(task, 8, seed=3)
+        x2, _ = make_initial_set(task, 8, seed=3)
+        np.testing.assert_array_equal(x1, x2)
+
+
+class TestRunMethod:
+    def test_all_paper_methods_run(self, task):
+        x, f = make_initial_set(task, 10, seed=0)
+        for m in ("BO", "DNN-Opt", "MA-Opt1", "MA-Opt2", "MA-Opt"):
+            res = run_method(m, task, 6, x, f, seed=1, maopt_overrides=FAST)
+            assert res.method == m
+            assert res.n_sims == 6
+
+    def test_extra_methods_run(self, task):
+        x, f = make_initial_set(task, 10, seed=0)
+        for m in ("Random", "PSO", "DE"):
+            res = run_method(m, task, 6, x, f, seed=1)
+            assert res.n_sims == 6
+
+    def test_unknown_method_raises(self, task):
+        x, f = make_initial_set(task, 5, seed=0)
+        with pytest.raises(ValueError):
+            run_method("SGD", task, 3, x, f)
+
+    def test_same_init_best_across_methods(self, task):
+        x, f = make_initial_set(task, 10, seed=0)
+        res = {m: run_method(m, task, 4, x, f, seed=1,
+                             maopt_overrides=FAST)
+               for m in ("Random", "DNN-Opt", "MA-Opt")}
+        vals = {r.init_best_fom for r in res.values()}
+        assert len(vals) == 1  # identical shared initial set
+
+
+class TestRunComparison:
+    def test_structure(self, task):
+        out = run_comparison(task, ["Random", "MA-Opt"], n_runs=2,
+                             n_sims=6, n_init=8, seed=0,
+                             maopt_overrides=FAST)
+        assert set(out) == {"Random", "MA-Opt"}
+        assert all(len(v) == 2 for v in out.values())
+
+    def test_per_repeat_init_sets_differ(self, task):
+        out = run_comparison(task, ["Random"], n_runs=2, n_sims=4,
+                             n_init=8, seed=0)
+        r0, r1 = out["Random"]
+        assert r0.init_best_fom != r1.init_best_fom

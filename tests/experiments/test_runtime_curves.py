@@ -1,0 +1,88 @@
+"""Tests for the runtime-fair FoM comparison curves."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import EvaluationRecord, OptimizationResult
+from repro.experiments.figures import fom_vs_runtime_curves
+
+
+def timed_result(method, foms, dt=1.0):
+    records = [
+        EvaluationRecord(index=i, x=np.zeros(1), metrics=np.zeros(1),
+                         fom=f, kind=method, t_wall=(i + 1) * dt)
+        for i, f in enumerate(foms)
+    ]
+    return OptimizationResult("t", method, records=records,
+                              init_best_fom=max(foms) + 1.0)
+
+
+class TestRecordTimestamps:
+    def test_ma_opt_records_timestamps(self):
+        from repro.core.config import MAOptConfig
+        from repro.core.ma_opt import MAOptimizer
+        from repro.core.synthetic import ConstrainedSphere
+
+        task = ConstrainedSphere(d=4, seed=0)
+        cfg = MAOptConfig(seed=0, critic_steps=10, actor_steps=5,
+                          batch_size=8, n_elite=5, hidden=(8, 8))
+        res = MAOptimizer(task, cfg).run(n_sims=6, n_init=8)
+        times = [r.t_wall for r in res.records]
+        assert times[0] >= 0.0
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_baseline_records_timestamps(self):
+        from repro.baselines import RandomSearch
+        from repro.core.synthetic import ConstrainedSphere
+
+        task = ConstrainedSphere(d=4, seed=0)
+        res = RandomSearch(task, seed=0).run(n_sims=5, n_init=5)
+        assert all(r.t_wall >= 0 for r in res.records)
+
+
+class TestRuntimeCurves:
+    def test_time_axis_common_grid(self):
+        results = {
+            "fast": [timed_result("fast", [3.0, 2.0, 1.0], dt=0.5)],
+            "slow": [timed_result("slow", [3.0, 2.5, 2.0], dt=2.0)],
+        }
+        curves = fom_vs_runtime_curves(results, n_points=10)
+        t_fast, y_fast = curves["fast"]
+        t_slow, y_slow = curves["slow"]
+        assert t_fast[-1] == pytest.approx(1.5)
+        assert t_slow[-1] == pytest.approx(6.0)
+        assert all(b <= a + 1e-12 for a, b in zip(y_fast, y_fast[1:]))
+
+    def test_before_first_sim_uses_init_best(self):
+        res = timed_result("m", [0.5], dt=10.0)
+        curves = fom_vs_runtime_curves({"m": [res]}, n_points=5)
+        _, y = curves["m"]
+        assert y[0] == pytest.approx(np.log10(res.init_best_fom))
+
+    def test_mean_over_runs(self):
+        results = {"m": [timed_result("m", [4.0, 2.0], dt=1.0),
+                         timed_result("m", [4.0, 1.0], dt=1.0)]}
+        _, y = fom_vs_runtime_curves(results, n_points=4)["m"]
+        assert y[-1] == pytest.approx(np.log10(1.5))
+
+    def test_empty_results_skipped(self):
+        assert fom_vs_runtime_curves({"m": []}) == {}
+
+
+class TestRenderAsciiFloatAxis:
+    def test_float_time_axis_never_overflows(self):
+        """Regression: non-integer x endpoints used to overflow the grid."""
+        from repro.experiments.figures import render_ascii
+
+        results = {"m": [timed_result("m", [3.0, 2.0, 1.0], dt=12.966)]}
+        curves = fom_vs_runtime_curves(results, n_points=40)
+        art = render_ascii(curves, title="t-axis")
+        assert "t-axis" in art
+
+    def test_zero_span_axis(self):
+        from repro.experiments.figures import render_ascii
+        import numpy as np
+
+        curves = {"m": (np.array([0.0, 0.0]), np.array([-1.0, -2.0]))}
+        art = render_ascii(curves)
+        assert "m" in art

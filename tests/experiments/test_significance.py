@@ -1,0 +1,60 @@
+"""Tests for the statistical-significance helpers."""
+
+import numpy as np
+
+from repro.core.result import EvaluationRecord, OptimizationResult
+from repro.experiments.tables import render_significance, significance_matrix
+
+
+def result_with_fom(method, fom):
+    rec = EvaluationRecord(index=0, x=np.zeros(1), metrics=np.zeros(1),
+                           fom=fom, kind=method)
+    return OptimizationResult("t", method, records=[rec],
+                              init_best_fom=fom + 1.0)
+
+
+class TestSignificance:
+    def test_clearly_different_methods_low_p(self):
+        results = {
+            "good": [result_with_fom("good", f)
+                     for f in (0.01, 0.012, 0.011, 0.013, 0.009)],
+            "bad": [result_with_fom("bad", f)
+                    for f in (1.0, 1.1, 0.9, 1.05, 0.95)],
+        }
+        methods, p = significance_matrix(results)
+        i, j = methods.index("good"), methods.index("bad")
+        assert p[i, j] < 0.05
+
+    def test_identical_methods_high_p(self):
+        foms = (0.5, 0.6, 0.4, 0.55, 0.45)
+        results = {
+            "a": [result_with_fom("a", f) for f in foms],
+            "b": [result_with_fom("b", f) for f in foms],
+        }
+        _, p = significance_matrix(results)
+        assert p[0, 1] > 0.5
+
+    def test_matrix_symmetric_unit_diagonal(self):
+        results = {
+            "a": [result_with_fom("a", f) for f in (0.1, 0.2, 0.3)],
+            "b": [result_with_fom("b", f) for f in (0.2, 0.3, 0.4)],
+            "c": [result_with_fom("c", f) for f in (1.0, 2.0, 3.0)],
+        }
+        _, p = significance_matrix(results)
+        np.testing.assert_allclose(p, p.T)
+        np.testing.assert_allclose(np.diag(p), 1.0)
+
+    def test_single_run_uninformative(self):
+        results = {"a": [result_with_fom("a", 0.1)],
+                   "b": [result_with_fom("b", 9.9)]}
+        _, p = significance_matrix(results)
+        assert p[0, 1] == 1.0  # too few runs to conclude anything
+
+    def test_render_contains_methods(self):
+        results = {
+            "a": [result_with_fom("a", f) for f in (0.1, 0.2, 0.3)],
+            "b": [result_with_fom("b", f) for f in (0.4, 0.5, 0.6)],
+        }
+        text = render_significance(results)
+        assert "Mann-Whitney" in text
+        assert "a" in text and "b" in text

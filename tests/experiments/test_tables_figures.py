@@ -1,0 +1,145 @@
+"""Tests for table and figure builders."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import EvaluationRecord, OptimizationResult
+from repro.core.synthetic import QuadraticAmplifierToy
+from repro.experiments import comparison_table, fom_curves, parameter_table
+from repro.experiments.figures import curves_to_csv, render_ascii
+from repro.experiments.tables import summarize_method
+
+
+def fake_result(method, foms, feasible_targets=(), wall=60.0):
+    records = [
+        EvaluationRecord(index=i, x=np.zeros(2),
+                         metrics=np.array([1.0, 0.0]), fom=f, kind=method)
+        for i, f in enumerate(foms)
+    ]
+    for i, t in enumerate(feasible_targets):
+        records[i].feasible = True
+        records[i].metrics = np.array([t, 0.0])
+    return OptimizationResult("toy", method, records=records,
+                              init_best_fom=max(foms) + 1.0,
+                              wall_time_s=wall)
+
+
+class TestSummaries:
+    def test_success_fraction(self):
+        rows = summarize_method([
+            fake_result("m", [1.0, 0.5], feasible_targets=[2e-3]),
+            fake_result("m", [1.0, 0.5]),
+        ])
+        assert rows["success"] == "1/2"
+        assert rows["success_rate"] == 0.5
+
+    def test_min_target_over_runs(self):
+        rows = summarize_method([
+            fake_result("m", [1.0], feasible_targets=[3e-3]),
+            fake_result("m", [1.0], feasible_targets=[1e-3]),
+        ])
+        assert rows["min_target"] == pytest.approx(1e-3)
+
+    def test_min_target_none_when_never_feasible(self):
+        rows = summarize_method([fake_result("m", [1.0])])
+        assert rows["min_target"] is None
+
+    def test_log10_avg_fom(self):
+        rows = summarize_method([fake_result("m", [0.01]),
+                                 fake_result("m", [0.1])])
+        assert rows["log10_avg_fom"] == pytest.approx(np.log10(0.055))
+
+    def test_runtime_hours(self):
+        rows = summarize_method([fake_result("m", [1.0], wall=3600.0)])
+        assert rows["total_runtime_h"] == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_method([])
+
+
+class TestTableRendering:
+    def test_comparison_table_text(self):
+        task = QuadraticAmplifierToy()
+        results = {
+            "BO": [fake_result("BO", [0.5, 0.2])],
+            "MA-Opt": [fake_result("MA-Opt", [0.1, 0.05],
+                                   feasible_targets=[4e-4])],
+        }
+        text = comparison_table(results, task)
+        assert "BO" in text and "MA-Opt" in text
+        assert "Success rate" in text
+        assert "log10(average FoM)" in text
+        assert "0.0004" in text  # unitless target rendered unscaled
+
+    def test_parameter_table_text(self):
+        text = parameter_table(QuadraticAmplifierToy())
+        assert "w" in text and "i" in text
+
+
+class TestFigures:
+    def test_curves_shapes(self):
+        results = {"A": [fake_result("A", [3.0, 2.0, 1.0]),
+                         fake_result("A", [2.0, 2.0, 0.5])]}
+        curves = fom_curves(results)
+        x, y = curves["A"]
+        assert len(x) == 4  # n_sims + 1
+        assert y[0] >= y[-1]  # best-so-far decreases
+
+    def test_curves_average_runs(self):
+        results = {"A": [fake_result("A", [10.0]), fake_result("A", [1.0])]}
+        _, y = fom_curves(results)["A"]
+        # final mean best-so-far fom: runs end at 10 and 1 -> mean 5.5
+        assert y[-1] == pytest.approx(np.log10(5.5))
+
+    def test_ascii_render_contains_legend(self):
+        results = {"A": [fake_result("A", [3.0, 1.0])]}
+        art = render_ascii(fom_curves(results), title="demo")
+        assert "demo" in art
+        assert "a = A" in art
+
+    def test_csv_export(self):
+        results = {"A": [fake_result("A", [3.0, 1.0])],
+                   "B": [fake_result("B", [2.0, 0.5])]}
+        csv = curves_to_csv(fom_curves(results))
+        lines = csv.splitlines()
+        assert lines[0] == "sim,A,B"
+        assert len(lines) == 4
+
+    def test_empty_inputs(self):
+        assert fom_curves({}) == {}
+        assert curves_to_csv({}) == ""
+        assert render_ascii({}) == "(no data)"
+
+
+class TestBenchConfig:
+    def test_defaults(self, monkeypatch):
+        from repro.experiments import BenchConfig
+
+        for var in ("MAOPT_BENCH_RUNS", "MAOPT_BENCH_SIMS",
+                    "MAOPT_BENCH_INIT", "MAOPT_BENCH_FULL",
+                    "MAOPT_BENCH_METHODS"):
+            monkeypatch.delenv(var, raising=False)
+        cfg = BenchConfig.from_env()
+        assert cfg.n_runs == 2
+        assert cfg.n_sims == 100
+        assert cfg.fidelity == "fast"
+
+    def test_full_mode(self, monkeypatch):
+        from repro.experiments import BenchConfig
+
+        monkeypatch.setenv("MAOPT_BENCH_FULL", "1")
+        cfg = BenchConfig.from_env()
+        assert cfg.n_runs == 10
+        assert cfg.n_sims == 200
+        assert cfg.n_init == 100
+        assert cfg.fidelity == "full"
+
+    def test_env_overrides(self, monkeypatch):
+        from repro.experiments import BenchConfig
+
+        monkeypatch.setenv("MAOPT_BENCH_RUNS", "5")
+        monkeypatch.setenv("MAOPT_BENCH_METHODS", "MA-Opt, BO")
+        cfg = BenchConfig.from_env()
+        assert cfg.n_runs == 5
+        assert cfg.methods == ("MA-Opt", "BO")

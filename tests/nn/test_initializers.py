@@ -1,0 +1,51 @@
+"""Unit tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import (
+    get_initializer,
+    glorot_uniform,
+    he_normal,
+    zeros_init,
+)
+
+
+class TestGlorot:
+    def test_bounds(self, rng):
+        w = glorot_uniform(100, 50, rng)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit)
+        assert w.shape == (100, 50)
+
+    def test_spread_uses_range(self, rng):
+        w = glorot_uniform(200, 200, rng)
+        limit = np.sqrt(6.0 / 400)
+        assert np.max(np.abs(w)) > 0.8 * limit
+
+
+class TestHeNormal:
+    def test_std_close_to_target(self, rng):
+        w = he_normal(400, 100, rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 400), rel=0.1)
+
+    def test_mean_near_zero(self, rng):
+        w = he_normal(300, 300, rng)
+        assert abs(w.mean()) < 0.01
+
+
+class TestZeros:
+    def test_all_zero(self, rng):
+        w = zeros_init(5, 7, rng)
+        assert np.all(w == 0.0)
+        assert w.shape == (5, 7)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_initializer("glorot_uniform") is glorot_uniform
+        assert get_initializer("he_normal") is he_normal
+
+    def test_unknown_lists_options(self):
+        with pytest.raises(KeyError, match="glorot_uniform"):
+            get_initializer("xavier")

@@ -1,0 +1,72 @@
+"""Unit tests for repro.nn.losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn import huber_loss, mae_loss, mse_loss
+
+
+class TestMSE:
+    def test_zero_at_match(self, rng):
+        y = rng.normal(size=(4, 3))
+        loss, grad = mse_loss(y, y)
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, np.zeros_like(y))
+
+    def test_value(self):
+        loss, _ = mse_loss(np.array([[2.0]]), np.array([[0.0]]))
+        assert loss == pytest.approx(4.0)
+
+    def test_grad_matches_finite_diff(self, rng):
+        pred = rng.normal(size=(3, 2))
+        target = rng.normal(size=(3, 2))
+        _, grad = mse_loss(pred, target)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(2):
+                p = pred.copy()
+                p[i, j] += eps
+                hi, _ = mse_loss(p, target)
+                p[i, j] -= 2 * eps
+                lo, _ = mse_loss(p, target)
+                assert grad[i, j] == pytest.approx((hi - lo) / (2 * eps), rel=1e-4)
+
+    def test_paper_normalization(self, rng):
+        """Eq. 4 normalizes by N_b * (m+1) == element count."""
+        pred = rng.normal(size=(5, 4))
+        target = np.zeros((5, 4))
+        loss, _ = mse_loss(pred, target)
+        assert loss == pytest.approx(np.sum(pred**2) / 20)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mse_loss(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestMAE:
+    def test_value_and_grad_sign(self):
+        loss, grad = mae_loss(np.array([[1.0, -2.0]]), np.array([[0.0, 0.0]]))
+        assert loss == pytest.approx(1.5)
+        assert grad[0, 0] > 0 and grad[0, 1] < 0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mae_loss(np.zeros(3), np.zeros(4))
+
+
+class TestHuber:
+    def test_quadratic_inside_delta(self):
+        loss, _ = huber_loss(np.array([[0.5]]), np.array([[0.0]]), delta=1.0)
+        assert loss == pytest.approx(0.125)
+
+    def test_linear_outside_delta(self):
+        loss, _ = huber_loss(np.array([[3.0]]), np.array([[0.0]]), delta=1.0)
+        assert loss == pytest.approx(2.5)
+
+    def test_grad_clipped(self):
+        _, grad = huber_loss(np.array([[10.0]]), np.array([[0.0]]), delta=1.0)
+        assert grad[0, 0] == pytest.approx(1.0)
+
+    def test_bad_delta_raises(self):
+        with pytest.raises(ValueError):
+            huber_loss(np.zeros((1, 1)), np.zeros((1, 1)), delta=0.0)

@@ -1,0 +1,87 @@
+"""Unit tests for repro.nn.optim."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam
+from repro.nn.layers import Parameter
+
+
+def quad_grad(p: Parameter) -> None:
+    """Gradient of 0.5 * ||x - 3||^2."""
+    p.grad[...] = p.value - 3.0
+
+
+class TestSGD:
+    def test_step_direction(self):
+        p = Parameter(np.zeros(3))
+        opt = SGD([p], lr=0.1)
+        quad_grad(p)
+        opt.step()
+        np.testing.assert_allclose(p.value, 0.3 * np.ones(3))
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.3)
+        for _ in range(100):
+            quad_grad(p)
+            opt.step()
+        np.testing.assert_allclose(p.value, 3.0, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        p_plain = Parameter(np.zeros(1))
+        p_mom = Parameter(np.zeros(1))
+        plain = SGD([p_plain], lr=0.01)
+        mom = SGD([p_mom], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            quad_grad(p_plain)
+            plain.step()
+            quad_grad(p_mom)
+            mom.step()
+        assert abs(p_mom.value[0] - 3.0) < abs(p_plain.value[0] - 3.0)
+
+    def test_invalid_momentum_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.full(4, 10.0))
+        opt = Adam([p], lr=0.2)
+        for _ in range(300):
+            quad_grad(p)
+            opt.step()
+        np.testing.assert_allclose(p.value, 3.0, atol=1e-3)
+
+    def test_first_step_magnitude_is_lr(self):
+        """With bias correction, the first Adam step is ~lr regardless of
+        gradient scale."""
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=0.5)
+        p.grad[...] = 1000.0
+        opt.step()
+        assert p.value[0] == pytest.approx(-0.5, rel=1e-6)
+
+    def test_invalid_betas_raise(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+    def test_invalid_eps_raises(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], eps=0.0)
+
+    def test_zero_grad_helper(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p])
+        p.grad += 5.0
+        opt.zero_grad()
+        assert np.all(p.grad == 0.0)

@@ -1,0 +1,90 @@
+"""Property-based tests for the FoM function (Eq. 2)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.fom import FigureOfMerit
+from repro.core.problem import SizingTask, Spec, Target
+from repro.core.space import DesignSpace, Parameter
+
+
+class _Task(SizingTask):
+    def __init__(self):
+        self.name = "prop"
+        self.space = DesignSpace([Parameter("x", 0, 1)])
+        self.target = Target("t", weight=1.0)
+        self.specs = [Spec("a", ">", 10.0), Spec("b", "<", 4.0, weight=2.0)]
+
+    def simulate(self, u):  # pragma: no cover
+        return {}
+
+
+FOM = FigureOfMerit(_Task())
+
+metric_vectors = arrays(
+    np.float64, (3,),
+    elements=st.floats(-100.0, 100.0, allow_nan=False),
+)
+
+
+@given(metric_vectors)
+def test_penalty_bounded_by_m(mv):
+    """g - w0*f0 is in [0, m]: each constraint contributes at most 1."""
+    g = FOM(mv)
+    penalty = g - mv[0]
+    assert -1e-9 <= penalty <= 2.0 + 1e-9
+
+
+@given(metric_vectors)
+def test_feasible_iff_zero_penalty(mv):
+    g = FOM(mv)
+    penalty = g - mv[0]
+    if FOM.is_feasible(mv):
+        assert penalty <= 1e-12
+    else:
+        assert penalty > 0.0
+
+
+@given(metric_vectors, st.floats(0.1, 10.0))
+def test_improving_target_improves_fom(mv, delta):
+    """Lowering f0 with constraints fixed strictly lowers g."""
+    better = mv.copy()
+    better[0] -= delta
+    assert FOM(better) < FOM(mv)
+
+
+@given(metric_vectors, st.floats(0.0, 50.0))
+def test_monotone_in_gt_constraint(mv, delta):
+    """Raising a '>' metric never increases the FoM."""
+    better = mv.copy()
+    better[1] += delta
+    assert FOM(better) <= FOM(mv) + 1e-12
+
+
+@given(metric_vectors, st.floats(0.0, 50.0))
+def test_monotone_in_lt_constraint(mv, delta):
+    """Lowering a '<' metric never increases the FoM."""
+    better = mv.copy()
+    better[2] -= delta
+    assert FOM(better) <= FOM(mv) + 1e-12
+
+
+@given(arrays(np.float64, (7, 3),
+              elements=st.floats(-50.0, 50.0, allow_nan=False)))
+def test_batch_consistent_with_scalar(batch):
+    gb = FOM(batch)
+    for k in range(batch.shape[0]):
+        assert abs(gb[k] - FOM(batch[k])) < 1e-12
+
+
+@given(metric_vectors)
+@settings(max_examples=50)
+def test_gradient_is_descent_direction(mv):
+    """A small step against the gradient never increases g (convexity of
+    each term along coordinate directions)."""
+    grad = FOM.gradient(mv)
+    step = 1e-6
+    moved = mv - step * grad
+    assert FOM(moved) <= FOM(mv) + 1e-10

@@ -1,0 +1,70 @@
+"""Property-based tests for optimizer data structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.population import EliteSet, TotalDesignSet
+from repro.core.pseudo import pseudo_sample_batch
+from repro.core.result import EvaluationRecord, OptimizationResult
+
+fom_lists = st.lists(st.floats(-10.0, 10.0, allow_nan=False),
+                     min_size=1, max_size=40)
+
+
+@given(fom_lists, st.integers(1, 10))
+def test_elite_set_is_exactly_best_k(foms, n_es):
+    total = TotalDesignSet(d=2, n_metrics=1)
+    for g in foms:
+        total.add(np.zeros(2), np.zeros(1), g)
+    elite = EliteSet(total, n_es=n_es)
+    idx = elite.indices()
+    assert len(idx) == min(n_es, len(foms))
+    chosen = sorted(np.array(foms)[idx])
+    best = sorted(foms)[: len(idx)]
+    np.testing.assert_allclose(chosen, best)
+
+
+@given(fom_lists)
+def test_elite_bounds_contain_best_design(foms):
+    rng = np.random.default_rng(0)
+    total = TotalDesignSet(d=3, n_metrics=1)
+    for g in foms:
+        total.add(rng.uniform(size=3), np.zeros(1), g)
+    elite = EliteSet(total, n_es=5)
+    lb, ub = elite.bounds()
+    x_best, _ = elite.best()
+    assert np.all(x_best >= lb - 1e-12)
+    assert np.all(x_best <= ub + 1e-12)
+
+
+@given(st.integers(1, 30), st.integers(1, 64), st.integers(0, 2**31 - 1))
+@settings(max_examples=30)
+def test_pseudo_samples_always_consistent(n_designs, batch, seed):
+    rng = np.random.default_rng(seed)
+    total = TotalDesignSet(d=3, n_metrics=2)
+    for _ in range(n_designs):
+        total.add(rng.uniform(size=3), rng.uniform(size=2), rng.uniform())
+    x, y = pseudo_sample_batch(total, batch, rng)
+    designs = total.designs
+    metrics = total.metrics
+    for row, tgt in zip(x, y):
+        xj = row[:3] + row[3:]
+        dists = np.linalg.norm(designs - xj, axis=1)
+        j = int(np.argmin(dists))
+        assert dists[j] < 1e-9
+        np.testing.assert_allclose(tgt, metrics[j])
+
+
+@given(fom_lists, st.floats(-10.0, 10.0, allow_nan=False))
+def test_best_fom_trace_monotone(foms, init_best):
+    records = [
+        EvaluationRecord(index=i, x=np.zeros(1), metrics=np.zeros(1), fom=g)
+        for i, g in enumerate(foms)
+    ]
+    res = OptimizationResult("t", "m", records=records,
+                             init_best_fom=init_best)
+    trace = res.best_fom_trace()
+    assert len(trace) == len(foms) + 1
+    assert all(b <= a + 1e-12 for a, b in zip(trace, trace[1:]))
+    assert trace[-1] == min([init_best] + foms)

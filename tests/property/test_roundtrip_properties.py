@@ -1,0 +1,53 @@
+"""Property test: random linear circuits survive the SPICE round-trip."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice import Circuit, operating_point, parse_netlist
+
+
+@st.composite
+def random_ladders(draw):
+    """A random resistive ladder with a couple of sources — always solvable."""
+    n_stages = draw(st.integers(1, 6))
+    v_in = draw(st.floats(-10.0, 10.0, allow_nan=False))
+    resistances = [draw(st.floats(1.0, 1e6)) for _ in range(2 * n_stages)]
+    i_leak = draw(st.floats(-1e-3, 1e-3, allow_nan=False))
+    return n_stages, v_in, resistances, i_leak
+
+
+def build(spec) -> Circuit:
+    n_stages, v_in, resistances, i_leak = spec
+    ckt = Circuit("ladder")
+    ckt.add_vsource("V1", "n0", "0", v_in)
+    for k in range(n_stages):
+        ckt.add_resistor(f"Rs{k}", f"n{k}", f"n{k + 1}",
+                         resistances[2 * k])
+        ckt.add_resistor(f"Rp{k}", f"n{k + 1}", "0",
+                         resistances[2 * k + 1])
+    ckt.add_isource("I1", "0", f"n{n_stages}", i_leak)
+    return ckt
+
+
+@given(random_ladders())
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_preserves_operating_point(spec):
+    original = build(spec)
+    recovered = parse_netlist(original.to_spice())
+    op_a = operating_point(original)
+    op_b = operating_point(recovered)
+    for name in original.node_names():
+        assert abs(op_a.v(name) - op_b.v(name)) < 1e-9 * max(
+            1.0, abs(op_a.v(name)))
+
+
+@given(random_ladders())
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_is_stable(spec):
+    """to_spice(parse(to_spice(c))) == to_spice(parse(...)) — a fixpoint
+    after one round."""
+    original = build(spec)
+    once = parse_netlist(original.to_spice())
+    twice = parse_netlist(once.to_spice())
+    assert once.to_spice() == twice.to_spice()

@@ -1,0 +1,65 @@
+"""Property-based tests for DesignSpace normalization."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.space import DesignSpace, Parameter
+
+
+@st.composite
+def spaces(draw):
+    n = draw(st.integers(1, 8))
+    params = []
+    for i in range(n):
+        lo = draw(st.floats(-100.0, 99.0, allow_nan=False))
+        width = draw(st.floats(0.5, 100.0, allow_nan=False))
+        integer = draw(st.booleans()) and width >= 3.0
+        params.append(Parameter(f"p{i}", lo, lo + width, integer=integer))
+    return DesignSpace(params)
+
+
+@given(spaces(), st.integers(0, 2**31 - 1))
+def test_samples_in_unit_cube(space, seed):
+    u = space.sample(np.random.default_rng(seed), 16)
+    assert np.all(u >= 0.0) and np.all(u <= 1.0)
+
+
+@given(spaces(), st.integers(0, 2**31 - 1))
+def test_denormalized_values_within_bounds(space, seed):
+    u = space.sample(np.random.default_rng(seed), 8)
+    for row in u:
+        vals = space.denormalize(row)
+        for p in space:
+            assert p.low - 1e-9 <= vals[p.name] <= p.high + 1e-9
+
+
+@given(spaces(), st.integers(0, 2**31 - 1))
+def test_integer_params_are_integers(space, seed):
+    u = space.sample(np.random.default_rng(seed), 8)
+    for row in u:
+        vals = space.denormalize(row)
+        for p in space:
+            if p.integer:
+                assert float(vals[p.name]).is_integer()
+
+
+@given(spaces(), st.integers(0, 2**31 - 1))
+def test_roundtrip_real_parameters(space, seed):
+    u = space.sample(np.random.default_rng(seed), 4)
+    for row in u:
+        vals = space.denormalize(row)
+        u2 = space.normalize(vals)
+        for j, p in enumerate(space):
+            if not p.integer:
+                assert abs(u2[j] - row[j]) < 1e-9
+
+
+@given(spaces(), st.integers(0, 2**31 - 1))
+def test_denormalize_array_agrees_with_dict(space, seed):
+    u = space.sample(np.random.default_rng(seed), 6)
+    arr = space.denormalize_array(u)
+    for k, row in enumerate(u):
+        vals = space.denormalize(row)
+        np.testing.assert_allclose(
+            arr[k], [vals[p.name] for p in space], atol=1e-12)

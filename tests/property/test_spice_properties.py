@@ -1,0 +1,86 @@
+"""Property-based tests for circuit-theory invariants of the simulator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice import Circuit, ac_analysis, operating_point
+
+resistances = st.floats(1.0, 1e6, allow_nan=False)
+voltages = st.floats(-10.0, 10.0, allow_nan=False)
+
+
+@given(resistances, resistances, voltages)
+@settings(max_examples=60, deadline=None)
+def test_divider_formula(r1, r2, v):
+    ckt = Circuit()
+    ckt.add_vsource("V1", "in", "0", v)
+    ckt.add_resistor("R1", "in", "out", r1)
+    ckt.add_resistor("R2", "out", "0", r2)
+    op = operating_point(ckt)
+    assert op.v("out") == np.float64(v * r2 / (r1 + r2)).item() or \
+        abs(op.v("out") - v * r2 / (r1 + r2)) < 1e-6 * max(1.0, abs(v))
+
+
+@given(resistances, voltages, voltages)
+@settings(max_examples=60, deadline=None)
+def test_linear_superposition(r, v1, v2):
+    """Response to v1+v2 equals sum of individual responses."""
+
+    def solve(va, vb):
+        ckt = Circuit()
+        ckt.add_vsource("Va", "a", "0", va)
+        ckt.add_vsource("Vb", "b", "0", vb)
+        ckt.add_resistor("R1", "a", "out", r)
+        ckt.add_resistor("R2", "b", "out", 2 * r)
+        ckt.add_resistor("R3", "out", "0", 3 * r)
+        return operating_point(ckt).v("out")
+
+    combined = solve(v1, v2)
+    sum_parts = solve(v1, 0.0) + solve(0.0, v2)
+    assert abs(combined - sum_parts) < 1e-6 * max(1.0, abs(combined))
+
+
+@given(resistances, st.floats(1e-12, 1e-6, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_rc_ac_magnitude_bounded_by_one(r, c):
+    """A passive RC divider can never exhibit gain."""
+    ckt = Circuit()
+    ckt.add_vsource("Vin", "in", "0", 0.0, ac=1.0)
+    ckt.add_resistor("R", "in", "out", r)
+    ckt.add_capacitor("C", "out", "0", c)
+    freqs = np.logspace(1, 9, 20)
+    h = ac_analysis(ckt, freqs).v("out")
+    assert np.all(np.abs(h) <= 1.0 + 1e-9)
+
+
+@given(resistances, resistances)
+@settings(max_examples=40, deadline=None)
+def test_kcl_at_every_node(r1, r2):
+    """Currents into the middle node of a T network sum to zero."""
+    ckt = Circuit()
+    ckt.add_vsource("V1", "a", "0", 5.0)
+    ckt.add_resistor("R1", "a", "mid", r1)
+    ckt.add_resistor("R2", "mid", "0", r2)
+    ckt.add_resistor("R3", "mid", "0", 2 * r2)
+    op = operating_point(ckt)
+    i_in = (op.v("a") - op.v("mid")) / r1
+    i_out = op.v("mid") / r2 + op.v("mid") / (2 * r2)
+    assert abs(i_in - i_out) < 1e-9 * max(1.0, abs(i_in))
+
+
+@given(st.floats(0.3, 1.7), st.floats(1.0, 100.0))
+@settings(max_examples=30, deadline=None)
+def test_mosfet_op_respects_supply_rails(vg, wl):
+    """All node voltages of a resistively-loaded NMOS stage stay within
+    the supply rails."""
+    from repro.spice import NMOS_180
+
+    ckt = Circuit()
+    ckt.add_vsource("Vdd", "vdd", "0", 1.8)
+    ckt.add_vsource("Vg", "g", "0", vg)
+    ckt.add_resistor("RL", "vdd", "d", 10e3)
+    ckt.add_mosfet("M1", "d", "g", "0", "0", NMOS_180,
+                   w=wl * 1e-6, l=1e-6)
+    op = operating_point(ckt)
+    assert -1e-6 <= op.v("d") <= 1.8 + 1e-6

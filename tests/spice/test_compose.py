@@ -1,0 +1,82 @@
+"""Tests for programmatic subcircuit composition."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, NMOS_180, operating_point
+from repro.spice.exceptions import NetlistError
+
+
+def divider_block():
+    sub = Circuit("divider")
+    sub.add_resistor("Rtop", "in", "out", 1e3)
+    sub.add_resistor("Rbot", "out", "0", 1e3)
+    return sub
+
+
+class TestAddSubcircuit:
+    def test_basic_flattening(self):
+        top = Circuit()
+        top.add_vsource("V1", "a", "0", 2.0)
+        top.add_subcircuit("U1", divider_block(),
+                           {"in": "a", "out": "mid"})
+        assert "U1.Rtop" in top
+        op = operating_point(top)
+        assert op.v("mid") == pytest.approx(1.0, rel=1e-6)
+
+    def test_internal_nodes_prefixed(self):
+        sub = Circuit()
+        sub.add_resistor("R1", "in", "hidden", 1e3)
+        sub.add_resistor("R2", "hidden", "out", 1e3)
+        top = Circuit()
+        top.add_vsource("V1", "a", "0", 1.0)
+        top.add_resistor("RL", "b", "0", 1e3)
+        top.add_subcircuit("U1", sub, {"in": "a", "out": "b"})
+        assert top.node_index("U1.hidden") >= 0
+
+    def test_two_instances_independent(self):
+        top = Circuit()
+        top.add_vsource("V1", "a", "0", 4.0)
+        top.add_subcircuit("U1", divider_block(), {"in": "a", "out": "m"})
+        top.add_subcircuit("U2", divider_block(), {"in": "m", "out": "n"})
+        op = operating_point(top)
+        assert op.v("m") > op.v("n") > 0
+
+    def test_deep_copy_no_shared_state(self):
+        sub = divider_block()
+        top = Circuit()
+        top.add_vsource("V1", "a", "0", 1.0)
+        top.add_subcircuit("U1", sub, {"in": "a", "out": "m"})
+        top["U1.Rtop"].resistance = 9e9
+        assert sub["Rtop"].resistance == 1e3
+
+    def test_ground_not_remapped(self):
+        sub = Circuit()
+        sub.add_resistor("R1", "p", "gnd", 1e3)
+        top = Circuit()
+        top.add_vsource("V1", "x", "0", 1.0)
+        top.add_subcircuit("U1", sub, {"p": "x"})
+        op = operating_point(top)
+        assert op.branch_current("V1") == pytest.approx(-1e-3, rel=1e-6)
+
+    def test_mosfet_block(self):
+        sub = Circuit()
+        sub.add_mosfet("M1", "d", "g", "0", "0", NMOS_180, 10e-6, 1e-6)
+        top = Circuit()
+        top.add_vsource("Vdd", "vdd", "0", 1.8)
+        top.add_vsource("Vg", "gate", "0", 0.7)
+        top.add_resistor("RL", "vdd", "drain", 10e3)
+        top.add_subcircuit("A", sub, {"d": "drain", "g": "gate"})
+        op = operating_point(top)
+        assert op.element_info("A.M1")["id"] > 1e-7
+
+    def test_empty_instance_name_raises(self):
+        with pytest.raises(NetlistError):
+            Circuit().add_subcircuit("", divider_block(), {})
+
+    def test_duplicate_instance_raises(self):
+        top = Circuit()
+        top.add_vsource("V1", "a", "0", 1.0)
+        top.add_subcircuit("U1", divider_block(), {"in": "a", "out": "m"})
+        with pytest.raises(NetlistError):
+            top.add_subcircuit("U1", divider_block(), {"in": "a", "out": "m"})

@@ -1,0 +1,103 @@
+"""Additional element-level tests: controlled sources, diode transients,
+element validation, OP reports."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Circuit,
+    NMOS_180,
+    PMOS_180,
+    ac_analysis,
+    operating_point,
+    transient_analysis,
+)
+from repro.spice.elements import Capacitor, Inductor, Mosfet, Resistor
+from repro.spice.models import DiodeModel
+from repro.spice.report import op_report
+from repro.spice.waveforms import Pulse
+
+
+class TestElementValidation:
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(ValueError):
+            Resistor("R1", "a", "b", -1.0)
+
+    def test_zero_capacitance_rejected(self):
+        with pytest.raises(ValueError):
+            Capacitor("C1", "a", "b", 0.0)
+
+    def test_zero_inductance_rejected(self):
+        with pytest.raises(ValueError):
+            Inductor("L1", "a", "b", 0.0)
+
+    def test_mosfet_geometry_validated(self):
+        with pytest.raises(ValueError):
+            Mosfet("M1", "d", "g", "s", "b", NMOS_180, w=-1e-6, l=1e-6)
+        with pytest.raises(ValueError):
+            Mosfet("M1", "d", "g", "s", "b", NMOS_180, w=1e-6, l=1e-6, m=0)
+
+
+class TestControlledSourceAC:
+    def test_vcvs_gain_flat_over_frequency(self):
+        ckt = Circuit()
+        ckt.add_vsource("Vin", "in", "0", 0.0, ac=1.0)
+        ckt.add_vcvs("E1", "out", "0", "in", "0", 7.0)
+        ckt.add_resistor("RL", "out", "0", 1e3)
+        ac = ac_analysis(ckt, np.array([1e2, 1e6, 1e9]))
+        np.testing.assert_allclose(np.abs(ac.v("out")), 7.0, rtol=1e-9)
+
+    def test_vccs_into_cap_integrates(self):
+        """VCCS driving a capacitor: |H| = gm / (w C)."""
+        ckt = Circuit()
+        ckt.add_vsource("Vin", "in", "0", 0.0, ac=1.0)
+        ckt.add_vccs("G1", "0", "out", "in", "0", 1e-3)
+        ckt.add_capacitor("C1", "out", "0", 1e-9)
+        f = 1e6
+        ac = ac_analysis(ckt, np.array([f]))
+        expected = 1e-3 / (2 * np.pi * f * 1e-9)
+        assert abs(ac.v("out")[0]) == pytest.approx(expected, rel=1e-6)
+
+
+class TestDiodeTransient:
+    def test_junction_cap_delays_turn_on(self):
+        model = DiodeModel(name="dcap", cj0=10e-12)
+        ckt = Circuit()
+        ckt.add_vsource("Vin", "in", "0",
+                        Pulse(0.0, 0.8, td=1e-9, tr=0.1e-9, tf=0.1e-9,
+                              pw=1.0))
+        ckt.add_resistor("Rs", "in", "d", 10e3)
+        ckt.add_diode("D1", "d", "0", model=model)
+        tr = transient_analysis(ckt, 2e-6, 2e-9)
+        v = tr.v("d")
+        # rises smoothly through RC, settles at the diode drop
+        assert v[0] == pytest.approx(0.0, abs=1e-6)
+        assert 0.3 < v[-1] < 0.7
+        i_mid = np.argmin(np.abs(tr.times - 50e-9))
+        assert v[i_mid] < v[-1]
+
+
+class TestPmosBodyAtSupply:
+    def test_pmos_source_follower(self):
+        ckt = Circuit()
+        ckt.add_vsource("Vdd", "vdd", "0", 1.8)
+        ckt.add_vsource("Vg", "g", "0", 0.5)
+        ckt.add_mosfet("MP", "0", "g", "s", "vdd", PMOS_180,
+                       w=20e-6, l=1e-6)
+        ckt.add_resistor("Rs", "vdd", "s", 20e3)
+        op = operating_point(ckt)
+        # source sits roughly |VGS| above the gate
+        assert 0.9 < op.v("s") < 1.6
+
+
+class TestOPReport:
+    def test_report_contains_devices_and_nodes(self):
+        ckt = Circuit("rpt")
+        ckt.add_vsource("Vdd", "vdd", "0", 1.8)
+        ckt.add_resistor("RL", "vdd", "d", 10e3)
+        ckt.add_mosfet("M1", "d", "d", "0", "0", NMOS_180, w=10e-6, l=1e-6)
+        text = op_report(operating_point(ckt))
+        assert "v(d" in text
+        assert "M1" in text
+        assert "Vdd" in text
+        assert "dissipation" in text

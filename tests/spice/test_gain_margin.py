@@ -1,0 +1,52 @@
+"""Tests for the gain-margin measurement."""
+
+import numpy as np
+import pytest
+
+from repro.spice import measure as M
+
+
+def three_pole(freqs, a0=100.0, fp=1e4):
+    h = a0 * np.ones(len(freqs), dtype=complex)
+    for mult in (1.0, 10.0, 100.0):
+        h = h / (1 + 1j * freqs / (fp * mult))
+    return h
+
+
+class TestGainMargin:
+    def test_three_pole_has_margin(self):
+        freqs = np.logspace(2, 9, 800)
+        gm = M.gain_margin(freqs, three_pole(freqs))
+        assert gm is not None
+        # phase hits -180 deg (poles 2 and 3 each give ~ -90) well past
+        # crossover for this gain, so the margin is positive
+        assert gm > 0.0
+
+    def test_higher_gain_smaller_margin(self):
+        freqs = np.logspace(2, 9, 800)
+        gm_lo = M.gain_margin(freqs, three_pole(freqs, a0=10.0))
+        gm_hi = M.gain_margin(freqs, three_pole(freqs, a0=1000.0))
+        assert gm_hi < gm_lo
+
+    def test_single_pole_never_reaches_180(self):
+        freqs = np.logspace(2, 9, 200)
+        h = 100.0 / (1 + 1j * freqs / 1e4)
+        assert M.gain_margin(freqs, h) is None
+
+    def test_inverting_system_normalized(self):
+        freqs = np.logspace(2, 9, 800)
+        gm_pos = M.gain_margin(freqs, three_pole(freqs))
+        gm_neg = M.gain_margin(freqs, -three_pole(freqs))
+        assert gm_neg == pytest.approx(gm_pos, abs=0.5)
+
+    def test_consistent_with_analytic_two_extra_poles(self):
+        """For a0/( (1+jf/f1)(1+jf/f2)^2 ) with f2 = 100 f1, the -180
+        crossing sits at ~f2 where both identical poles give -90 each;
+        |H| there ~ a0 f1 / f2 / 2 -> margin ~ -20log10(a0/200)."""
+        freqs = np.logspace(2, 10, 2000)
+        a0 = 100.0
+        f1, f2 = 1e4, 1e6
+        h = a0 / ((1 + 1j * freqs / f1) * (1 + 1j * freqs / f2) ** 2)
+        gm = M.gain_margin(freqs, h)
+        expected = -M.db(a0 * f1 / f2 / 2.0)
+        assert gm == pytest.approx(expected, abs=2.0)

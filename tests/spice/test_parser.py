@@ -1,0 +1,225 @@
+"""Tests for the SPICE netlist parser."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, ac_analysis, operating_point, transient_analysis
+from repro.spice.exceptions import NetlistError
+from repro.spice.parser import parse_netlist
+from repro.spice.waveforms import PieceWiseLinear, Pulse, Sine
+
+
+class TestBasicElements:
+    def test_divider(self):
+        ckt = parse_netlist("""
+        * divider
+        V1 in 0 DC 2
+        R1 in out 1k
+        R2 out 0 1k
+        .end
+        """)
+        assert operating_point(ckt).v("out") == pytest.approx(1.0, rel=1e-6)
+
+    def test_title_line_convention(self):
+        ckt = parse_netlist("my amplifier deck\nR1 a 0 1k\n.end")
+        assert ckt.title == "my amplifier deck"
+        assert "R1" in ckt
+
+    def test_si_suffixes(self):
+        ckt = parse_netlist("""
+        R1 a 0 2.2k
+        C1 a 0 100n
+        L1 a b 10u
+        V1 b 0 1
+        """)
+        assert ckt["R1"].resistance == pytest.approx(2200.0)
+        assert ckt["C1"].capacitance == pytest.approx(1e-7)
+        assert ckt["L1"].inductance == pytest.approx(1e-5)
+
+    def test_continuation_lines(self):
+        ckt = parse_netlist("""
+        V1 in 0
+        + DC 3
+        R1 in 0 1k
+        """)
+        assert operating_point(ckt).v("in") == pytest.approx(3.0)
+
+    def test_comments_stripped(self):
+        ckt = parse_netlist("""
+        * full-line comment
+        R1 a 0 1k $ trailing comment
+        V1 a 0 1
+        """)
+        assert len(ckt.elements) == 2
+
+    def test_controlled_sources(self):
+        ckt = parse_netlist("""
+        V1 in 0 1
+        E1 out 0 in 0 5
+        RL out 0 1k
+        G1 0 x in 0 1m
+        RX x 0 1k
+        """)
+        op = operating_point(ckt)
+        assert op.v("out") == pytest.approx(5.0, rel=1e-6)
+        assert op.v("x") == pytest.approx(1.0, rel=1e-6)
+
+
+class TestSources:
+    def test_ac_spec(self):
+        ckt = parse_netlist("""
+        V1 in 0 DC 0 AC 1
+        R1 in out 1k
+        C1 out 0 1n
+        """)
+        ac = ac_analysis(ckt, np.array([1e3]))
+        assert abs(ac.v("out")[0]) == pytest.approx(1.0, rel=1e-2)
+
+    def test_pulse_source(self):
+        ckt = parse_netlist("""
+        V1 in 0 PULSE(0 1 1n 1n 1n 100n 0)
+        R1 in out 1k
+        C1 out 0 1p
+        """)
+        src = ckt["V1"]
+        assert isinstance(src.waveform, Pulse)
+        tr = transient_analysis(ckt, 50e-9, 0.5e-9)
+        assert tr.v("out")[-1] == pytest.approx(1.0, abs=0.02)
+
+    def test_sin_source(self):
+        ckt = parse_netlist("V1 a 0 SIN(0.9 0.1 1meg)\nR1 a 0 1k")
+        assert isinstance(ckt["V1"].waveform, Sine)
+        assert ckt["V1"].waveform.freq == pytest.approx(1e6)
+
+    def test_pwl_source(self):
+        ckt = parse_netlist("V1 a 0 PWL(0 0 1u 1 2u 0)\nR1 a 0 1k")
+        assert isinstance(ckt["V1"].waveform, PieceWiseLinear)
+
+    def test_current_source(self):
+        ckt = parse_netlist("""
+        I1 0 a DC 1m
+        R1 a 0 1k
+        """)
+        assert operating_point(ckt).v("a") == pytest.approx(1.0, rel=1e-6)
+
+
+class TestDevices:
+    def test_mosfet_with_builtin_model(self):
+        ckt = parse_netlist("""
+        Vdd vdd 0 1.8
+        Vg g 0 0.9
+        RL vdd d 10k
+        M1 d g 0 0 nmos180 W=10u L=1u
+        """)
+        op = operating_point(ckt)
+        assert op.element_info("M1")["id"] > 1e-6
+
+    def test_mosfet_with_custom_model_card(self):
+        ckt = parse_netlist("""
+        .model mynmos nmos vto=0.6 kp=200u
+        Vdd d 0 1.8
+        Vg g 0 1.0
+        M1 d g 0 0 mynmos W=10u L=1u
+        """)
+        m = ckt["M1"].model
+        assert m.vto == pytest.approx(0.6)
+        assert m.kp == pytest.approx(2e-4)
+
+    def test_pmos_model_card_polarity(self):
+        ckt = parse_netlist("""
+        .model myp pmos vto=0.5
+        Vdd s 0 1.8
+        M1 d g s s myp W=5u L=0.5u
+        Rload d 0 10k
+        Vg g 0 1.0
+        """)
+        assert ckt["M1"].model.polarity == -1
+
+    def test_multiplier(self):
+        ckt = parse_netlist("""
+        Vd d 0 1
+        M1 d d 0 0 nmos180 W=1u L=1u M=4
+        """)
+        assert ckt["M1"].m == 4
+
+    def test_diode_with_model(self):
+        ckt = parse_netlist("""
+        .model dx d is=1e-15 n=1.2
+        V1 a 0 0.7
+        R1 a b 1k
+        D1 b 0 dx
+        """)
+        assert ckt["D1"].model.n == pytest.approx(1.2)
+        op = operating_point(ckt)
+        assert 0.0 < op.v("b") < 0.7
+
+
+class TestErrors:
+    def test_empty_raises(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("")
+
+    def test_unknown_element_raises(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("R1 a 0 1k\nQ1 c b e bjt")
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("M1 d g 0 0 nomodel W=1u L=1u\nV1 d 0 1")
+
+    def test_missing_geometry_raises(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("M1 d g 0 0 nmos180 W=1u\nV1 d 0 1")
+
+    def test_malformed_value_raises(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("R1 a 0 banana\nV1 a 0 1")
+
+    def test_unsupported_control_raises(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("R1 a 0 1k\n.tran 1n 1u")
+
+    def test_orphan_continuation_raises(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("+ DC 5\nR1 a 0 1k")
+
+
+class TestRoundTrip:
+    def test_parse_of_generated_ota_text_equivalent(self):
+        """The OTA built programmatically and a hand-written deck of the
+        same topology agree on the operating point."""
+        deck = """
+        two-stage ota core (first stage only)
+        Vdd vdd 0 1.8
+        Vp inn 0 0.9
+        Vn inp 0 0.9
+        Rb vdd nb 57.5k
+        MB nb nb 0 0 nmos180 W=20u L=1u
+        M5 tail nb 0 0 nmos180 W=20u L=1u
+        M1a d1 inp tail 0 nmos180 W=60u L=0.4u
+        M1b out1 inn tail 0 nmos180 W=60u L=0.4u
+        M3 d1 d1 vdd vdd pmos180 W=15u L=0.5u
+        M4 out1 d1 vdd vdd pmos180 W=15u L=0.5u
+        .end
+        """
+        parsed = operating_point(parse_netlist(deck))
+        built = Circuit("ref")
+        built.add_vsource("Vdd", "vdd", "0", 1.8)
+        built.add_vsource("Vp", "inn", "0", 0.9)
+        built.add_vsource("Vn", "inp", "0", 0.9)
+        built.add_resistor("Rb", "vdd", "nb", 57.5e3)
+        from repro.spice import NMOS_180, PMOS_180
+
+        built.add_mosfet("MB", "nb", "nb", "0", "0", NMOS_180, 20e-6, 1e-6)
+        built.add_mosfet("M5", "tail", "nb", "0", "0", NMOS_180, 20e-6, 1e-6)
+        built.add_mosfet("M1a", "d1", "inp", "tail", "0", NMOS_180,
+                         60e-6, 0.4e-6)
+        built.add_mosfet("M1b", "out1", "inn", "tail", "0", NMOS_180,
+                         60e-6, 0.4e-6)
+        built.add_mosfet("M3", "d1", "d1", "vdd", "vdd", PMOS_180,
+                         15e-6, 0.5e-6)
+        built.add_mosfet("M4", "out1", "d1", "vdd", "vdd", PMOS_180,
+                         15e-6, 0.5e-6)
+        ref = operating_point(built)
+        for node in ("nb", "tail", "d1", "out1"):
+            assert parsed.v(node) == pytest.approx(ref.v(node), abs=1e-6)

@@ -1,0 +1,126 @@
+"""Tests for hierarchical .subckt support in the parser."""
+
+import numpy as np
+import pytest
+
+from repro.spice import operating_point
+from repro.spice.exceptions import NetlistError
+from repro.spice.parser import parse_netlist
+
+
+class TestFlattening:
+    def test_simple_instantiation(self):
+        ckt = parse_netlist("""
+        .subckt div in out
+        R1 in out 1k
+        R2 out 0 1k
+        .ends
+        V1 a 0 2
+        X1 a mid div
+        """)
+        assert "X1.R1" in ckt
+        assert "X1.R2" in ckt
+        assert operating_point(ckt).v("mid") == pytest.approx(1.0, rel=1e-6)
+
+    def test_internal_nodes_prefixed(self):
+        ckt = parse_netlist("""
+        .subckt twostage in out
+        R1 in internal 1k
+        R2 internal out 1k
+        .ends
+        V1 a 0 1
+        RL b 0 1k
+        X1 a b twostage
+        """)
+        assert ckt.node_index("X1.internal") >= 0
+
+    def test_two_instances_isolated(self):
+        ckt = parse_netlist("""
+        .subckt half in out
+        R1 in out 1k
+        R2 out 0 1k
+        .ends
+        V1 a 0 4
+        X1 a m1 half
+        X2 m1 m2 half
+        """)
+        op = operating_point(ckt)
+        # cascade of loaded dividers; just verify both exist & distinct
+        assert op.v("m1") > op.v("m2") > 0.0
+        assert "X1.R1" in ckt and "X2.R1" in ckt
+
+    def test_ground_not_remapped(self):
+        ckt = parse_netlist("""
+        .subckt gres a
+        R1 a 0 1k
+        .ends
+        V1 x 0 1
+        X1 x gres
+        """)
+        op = operating_point(ckt)
+        assert op.branch_current("V1") == pytest.approx(-1e-3, rel=1e-6)
+
+    def test_nested_subcircuits(self):
+        ckt = parse_netlist("""
+        .subckt leaf a b
+        R1 a b 1k
+        .ends
+        .subckt branch a b
+        X1 a mid leaf
+        X2 mid b leaf
+        .ends
+        V1 p 0 1
+        X9 p 0 branch
+        """)
+        assert "X9.X1.R1" in ckt
+        assert "X9.X2.R1" in ckt
+        op = operating_point(ckt)
+        # two 1k in series across 1 V -> 0.5 mA
+        assert op.branch_current("V1") == pytest.approx(-0.5e-3, rel=1e-6)
+
+    def test_mosfet_in_subckt_uses_global_model(self):
+        ckt = parse_netlist("""
+        .subckt stage in out vdd
+        M1 out in 0 0 nmos180 W=10u L=1u
+        RL vdd out 10k
+        .ends
+        Vdd vdd 0 1.8
+        Vin g 0 0.7
+        X1 g d vdd stage
+        """)
+        op = operating_point(ckt)
+        assert op.element_info("X1.M1")["id"] > 1e-7
+
+
+class TestErrors:
+    def test_unknown_subckt_raises(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("V1 a 0 1\nX1 a 0 nosuch")
+
+    def test_port_count_mismatch_raises(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("""
+            .subckt d2 a b
+            R1 a b 1k
+            .ends
+            V1 x 0 1
+            X1 x d2
+            """)
+
+    def test_unterminated_subckt_raises(self):
+        with pytest.raises(NetlistError):
+            parse_netlist(".subckt foo a\nR1 a 0 1k")
+
+    def test_stray_ends_raises(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("R1 a 0 1k\n.ends foo\nV1 a 0 1")
+
+    def test_recursive_subckt_raises(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("""
+            .subckt loop a
+            X1 a loop
+            .ends
+            V1 x 0 1
+            X1 x loop
+            """)

@@ -1,0 +1,88 @@
+"""Tests for generic element-parameter sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, NMOS_180
+from repro.spice.exceptions import AnalysisError
+from repro.spice.sweep import param_sweep
+
+
+def divider():
+    ckt = Circuit()
+    ckt.add_vsource("V1", "in", "0", 1.0)
+    ckt.add_resistor("R1", "in", "out", 1e3)
+    ckt.add_resistor("R2", "out", "0", 1e3)
+    return ckt
+
+
+class TestResistorSweep:
+    def test_divider_formula(self):
+        vs = param_sweep(divider(), "R2", "resistance",
+                         np.array([1e3, 2e3, 4e3]),
+                         measure=lambda op: op.v("out"))
+        np.testing.assert_allclose(vs, [0.5, 2 / 3, 0.8], rtol=1e-6)
+
+    def test_value_restored(self):
+        ckt = divider()
+        param_sweep(ckt, "R2", "resistance", np.array([5e3]),
+                    measure=lambda op: op.v("out"))
+        assert ckt["R2"].resistance == 1e3
+
+    def test_no_restore_option(self):
+        ckt = divider()
+        param_sweep(ckt, "R2", "resistance", np.array([5e3]),
+                    measure=lambda op: op.v("out"), restore=False)
+        assert ckt["R2"].resistance == 5e3
+
+    def test_default_measure_returns_solution_vectors(self):
+        out = param_sweep(divider(), "R2", "resistance",
+                          np.array([1e3, 2e3]))
+        assert out.shape[0] == 2
+
+
+class TestMosfetSweep:
+    def _amp(self):
+        ckt = Circuit()
+        ckt.add_vsource("Vdd", "vdd", "0", 1.8)
+        ckt.add_vsource("Vg", "g", "0", 0.6)
+        ckt.add_resistor("RL", "vdd", "d", 10e3)
+        ckt.add_mosfet("M1", "d", "g", "0", "0", NMOS_180, 10e-6, 1e-6)
+        return ckt
+
+    def test_width_sweep_increases_current(self):
+        ids = param_sweep(self._amp(), "M1", "w",
+                          np.array([5e-6, 20e-6, 80e-6]),
+                          measure=lambda op: op.element_info("M1")["id"])
+        assert ids[0] < ids[1] < ids[2]
+
+    def test_cap_cache_refreshed(self):
+        ckt = self._amp()
+        caps_before = dict(ckt["M1"]._caps)
+        param_sweep(ckt, "M1", "w", np.array([100e-6]),
+                    measure=lambda op: 0.0, restore=False)
+        assert ckt["M1"]._caps["cgs"] > caps_before["cgs"]
+
+    def test_length_sweep_reduces_current(self):
+        ids = param_sweep(self._amp(), "M1", "l",
+                          np.array([0.5e-6, 2e-6]),
+                          measure=lambda op: op.element_info("M1")["id"])
+        assert ids[1] < ids[0]
+
+
+class TestValidation:
+    def test_unknown_attr_raises(self):
+        with pytest.raises(AnalysisError):
+            param_sweep(divider(), "R2", "ohms", np.array([1.0]))
+
+    def test_empty_values_raise(self):
+        with pytest.raises(AnalysisError):
+            param_sweep(divider(), "R2", "resistance", np.array([]))
+
+    def test_restore_even_on_failure(self):
+        ckt = divider()
+        with pytest.raises(Exception):
+            # R = 0 makes the conductance infinite -> solve must fail.
+            param_sweep(ckt, "R2", "resistance", np.array([0.0, 1e3]),
+                        measure=lambda op: op.v("out"))
+        assert ckt["R2"].resistance == 1e3

@@ -1,0 +1,60 @@
+"""Tests for first-order temperature modelling."""
+
+import pytest
+
+from repro.spice import Circuit, NMOS_180, operating_point
+from repro.spice.models import BOLTZMANN, ELEMENTARY_CHARGE
+
+
+class TestModelTemperature:
+    def test_ut_tracks_temperature(self):
+        hot = NMOS_180.at_temperature(125.0)
+        assert hot.ut == pytest.approx(
+            BOLTZMANN * (125.0 + 273.15) / ELEMENTARY_CHARGE, rel=1e-9)
+        assert hot.ut > NMOS_180.ut
+
+    def test_mobility_degrades_when_hot(self):
+        hot = NMOS_180.at_temperature(125.0)
+        assert hot.kp < NMOS_180.kp
+
+    def test_vto_drops_when_hot(self):
+        hot = NMOS_180.at_temperature(125.0)
+        assert hot.vto < NMOS_180.vto
+
+    def test_cold_reverses(self):
+        cold = NMOS_180.at_temperature(-40.0)
+        assert cold.kp > NMOS_180.kp
+        assert cold.vto > NMOS_180.vto
+
+    def test_room_temp_is_near_identity(self):
+        room = NMOS_180.at_temperature(27.0)
+        assert room.kp == pytest.approx(NMOS_180.kp, rel=1e-2)
+        assert room.vto == pytest.approx(NMOS_180.vto, abs=1e-3)
+
+    def test_name_tagged(self):
+        assert "125" in NMOS_180.at_temperature(125.0).name
+
+
+class TestCircuitTemperature:
+    def _current(self, model, vgs):
+        ckt = Circuit()
+        ckt.add_vsource("Vd", "d", "0", 1.8)
+        ckt.add_vsource("Vg", "g", "0", vgs)
+        ckt.add_mosfet("M1", "d", "g", "0", "0", model, 10e-6, 1e-6)
+        return operating_point(ckt).element_info("M1")["id"]
+
+    def test_strong_inversion_current_drops_when_hot(self):
+        """Above the ZTC point, mobility loss wins: hot current is lower."""
+        i_room = self._current(NMOS_180, 1.5)
+        i_hot = self._current(NMOS_180.at_temperature(125.0), 1.5)
+        assert i_hot < i_room
+
+    def test_subthreshold_current_rises_when_hot(self):
+        """Below threshold, the VTO drop and Ut rise win: hot leaks more."""
+        i_room = self._current(NMOS_180, 0.35)
+        i_hot = self._current(NMOS_180.at_temperature(125.0), 0.35)
+        assert i_hot > i_room
+
+    def test_thermal_noise_scales_with_t(self):
+        hot = NMOS_180.at_temperature(125.0)
+        assert hot.thermal_noise_psd(1e-3) > NMOS_180.thermal_noise_psd(1e-3)

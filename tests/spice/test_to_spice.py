@@ -1,0 +1,123 @@
+"""Round-trip tests: Circuit -> SPICE deck -> Circuit."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, operating_point, parse_netlist
+from repro.spice.models import DiodeModel, MosfetModel
+from repro.spice.waveforms import PieceWiseLinear, Pulse, Sine
+
+
+def roundtrip(ckt: Circuit) -> Circuit:
+    return parse_netlist(ckt.to_spice())
+
+
+class TestRoundTrip:
+    def test_title_preserved(self):
+        ckt = Circuit("my amplifier deck")
+        ckt.add_resistor("R1", "a", "0", 1e3)
+        ckt.add_vsource("V1", "a", "0", 1.0)
+        assert roundtrip(ckt).title == "my amplifier deck"
+
+    def test_passives_and_sources(self):
+        ckt = Circuit("rlc")
+        ckt.add_vsource("V1", "in", "0", 2.5, ac=1.0)
+        ckt.add_resistor("R1", "in", "mid", 2.2e3)
+        ckt.add_inductor("L1", "mid", "out", 1e-6)
+        ckt.add_capacitor("C1", "out", "0", 4.7e-12)
+        ckt.add_isource("I1", "0", "out", 1e-3)
+        back = roundtrip(ckt)
+        assert back["R1"].resistance == pytest.approx(2.2e3)
+        assert back["L1"].inductance == pytest.approx(1e-6)
+        assert back["C1"].capacitance == pytest.approx(4.7e-12)
+        assert back["V1"].ac == pytest.approx(1.0)
+        op_a = operating_point(ckt)
+        op_b = operating_point(back)
+        for node in ("in", "mid", "out"):
+            assert op_b.v(node) == pytest.approx(op_a.v(node), abs=1e-9)
+
+    def test_waveforms_preserved(self):
+        ckt = Circuit("waves")
+        ckt.add_vsource("Vp", "a", "0",
+                        Pulse(0.1, 1.2, td=1e-9, tr=2e-9, tf=3e-9,
+                              pw=4e-9, per=20e-9))
+        ckt.add_vsource("Vs", "b", "0", Sine(0.9, 0.1, 1e6, td=1e-7))
+        ckt.add_vsource("Vw", "c", "0",
+                        PieceWiseLinear([(0.0, 0.0), (1e-6, 1.0)]))
+        ckt.add_resistor("Ra", "a", "0", 1e3)
+        ckt.add_resistor("Rb", "b", "0", 1e3)
+        ckt.add_resistor("Rc", "c", "0", 1e3)
+        back = roundtrip(ckt)
+        p = back["Vp"].waveform
+        assert isinstance(p, Pulse)
+        assert (p.v1, p.v2, p.per) == pytest.approx((0.1, 1.2, 20e-9))
+        s = back["Vs"].waveform
+        assert isinstance(s, Sine) and s.freq == pytest.approx(1e6)
+        w = back["Vw"].waveform
+        assert isinstance(w, PieceWiseLinear)
+
+    def test_controlled_sources(self):
+        ckt = Circuit("ctl")
+        ckt.add_vsource("V1", "in", "0", 1.0)
+        ckt.add_vcvs("E1", "o1", "0", "in", "0", 7.5)
+        ckt.add_vccs("G1", "0", "o2", "in", "0", 2e-3)
+        ckt.add_resistor("R1", "o1", "0", 1e3)
+        ckt.add_resistor("R2", "o2", "0", 1e3)
+        back = roundtrip(ckt)
+        assert back["E1"].mu == pytest.approx(7.5)
+        assert back["G1"].gm == pytest.approx(2e-3)
+
+    def test_builtin_mosfet_models(self):
+        from repro.spice import NMOS_180
+
+        ckt = Circuit("mos")
+        ckt.add_vsource("Vdd", "vdd", "0", 1.8)
+        ckt.add_resistor("RL", "vdd", "d", 10e3)
+        ckt.add_mosfet("M1", "d", "d", "0", "0", NMOS_180, 10e-6, 1e-6, m=3)
+        back = roundtrip(ckt)
+        assert back["M1"].m == 3
+        assert back["M1"].model.name == "nmos180"
+        op_a, op_b = operating_point(ckt), operating_point(back)
+        assert op_b.v("d") == pytest.approx(op_a.v("d"), abs=1e-9)
+
+    def test_custom_mosfet_model_card_emitted(self):
+        model = MosfetModel(name="myn", polarity=1, vto=0.6, kp=2e-4)
+        ckt = Circuit("custom")
+        ckt.add_vsource("Vd", "d", "0", 1.8)
+        ckt.add_mosfet("M1", "d", "d", "0", "0", model, 5e-6, 0.5e-6)
+        deck = ckt.to_spice()
+        assert ".model myn nmos" in deck
+        back = parse_netlist(deck)
+        assert back["M1"].model.vto == pytest.approx(0.6)
+        assert back["M1"].model.kp == pytest.approx(2e-4)
+
+    def test_diode_model_card(self):
+        ckt = Circuit("dio")
+        ckt.add_vsource("V1", "a", "0", 1.0)
+        ckt.add_resistor("R1", "a", "d", 1e3)
+        ckt.add_diode("D1", "d", "0",
+                      model=DiodeModel(name="dx", is_=2e-15, n=1.3))
+        back = roundtrip(ckt)
+        assert back["D1"].model.n == pytest.approx(1.3)
+
+    def test_flattened_subcircuit_exports(self):
+        """A circuit built via add_subcircuit exports and re-parses."""
+        sub = Circuit("blk")
+        sub.add_resistor("R1", "in", "out", 1e3)
+        top = Circuit("top")
+        top.add_vsource("V1", "a", "0", 1.0)
+        top.add_resistor("RL", "b", "0", 1e3)
+        top.add_subcircuit("U1", sub, {"in": "a", "out": "b"})
+        back = roundtrip(top)
+        assert "U1.R1" in back
+        assert operating_point(back).v("b") == pytest.approx(0.5, rel=1e-6)
+
+    def test_ota_task_circuit_roundtrips(self):
+        from repro.circuits.ota import build_ota
+        from tests.circuits.test_ota import GOOD
+
+        ckt = build_ota(GOOD)
+        back = roundtrip(ckt)
+        op_a, op_b = operating_point(ckt), operating_point(back)
+        for node in ("out", "out1", "nb", "tail"):
+            assert op_b.v(node) == pytest.approx(op_a.v(node), abs=1e-6)

@@ -1,0 +1,67 @@
+"""Unit tests for SI-suffix parsing and formatting."""
+
+import pytest
+
+from repro.spice import format_si, parse_si
+
+
+class TestParse:
+    @pytest.mark.parametrize("text,value", [
+        ("2k", 2e3),
+        ("2.2K", 2.2e3),
+        ("1meg", 1e6),
+        ("1MEG", 1e6),
+        ("3.3", 3.3),
+        ("100f", 1e-13),
+        ("10p", 1e-11),
+        ("47n", 4.7e-8),
+        ("5u", 5e-6),
+        ("12m", 12e-3),
+        ("1g", 1e9),
+        ("2t", 2e12),
+        ("-4.7u", -4.7e-6),
+        ("1e-12", 1e-12),
+        ("1.5e3", 1.5e3),
+    ])
+    def test_values(self, text, value):
+        assert parse_si(text) == pytest.approx(value)
+
+    def test_m_is_milli_not_mega(self):
+        assert parse_si("1m") == pytest.approx(1e-3)
+
+    def test_trailing_unit_ignored(self):
+        assert parse_si("10kohm") == pytest.approx(1e4)
+        assert parse_si("100nF") == pytest.approx(1e-7)
+
+    def test_plain_unit_letters_not_multiplier(self):
+        # 'V' and 'Hz' are units, not SI prefixes.
+        assert parse_si("3V") == pytest.approx(3.0)
+
+    def test_numbers_passthrough(self):
+        assert parse_si(42) == 42.0
+        assert parse_si(1.5e-9) == 1.5e-9
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_si("abc")
+        with pytest.raises(ValueError):
+            parse_si("")
+
+
+class TestFormat:
+    @pytest.mark.parametrize("value,expected", [
+        (2.2e-13, "220f"),
+        (1e3, "1k"),
+        (0.0, "0"),
+        (1.5e6, "1.5meg"),
+        (2.5e-5, "25u"),
+    ])
+    def test_values(self, value, expected):
+        assert format_si(value) == expected
+
+    def test_unit_appended(self):
+        assert format_si(1e3, "Hz") == "1kHz"
+
+    def test_roundtrip(self):
+        for v in [1e-15, 3.3e-9, 4.7e-6, 2.2e3, 1.8, 6.5e8]:
+            assert parse_si(format_si(v)) == pytest.approx(v, rel=1e-3)

@@ -1,0 +1,27 @@
+"""Tests for the API-reference generator."""
+
+from repro.apidoc import MODULES, build_api_docs, document_module
+
+
+class TestApidoc:
+    def test_all_modules_importable_and_documented(self):
+        for name in MODULES:
+            lines = document_module(name)
+            assert lines[0] == f"## `{name}`"
+
+    def test_full_build_mentions_key_classes(self):
+        text = build_api_docs()
+        for key in ("MAOptimizer", "Circuit", "TwoStageOTA", "BayesOpt",
+                    "GaussianProcess", "MLP", "PPOSizer"):
+            assert key in text, key
+
+    def test_writes_file(self, tmp_path):
+        out = tmp_path / "api.md"
+        build_api_docs(out)
+        assert out.exists()
+        assert out.read_text().startswith("# API reference")
+
+    def test_private_names_excluded(self):
+        text = build_api_docs()
+        assert "_newton" not in text
+        assert "### class `_" not in text

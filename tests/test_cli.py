@@ -1,0 +1,59 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_describe_parses(self):
+        args = build_parser().parse_args(["describe", "ota"])
+        assert args.task == "ota"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fidelity_flag(self):
+        args = build_parser().parse_args(["--fidelity", "full",
+                                          "describe", "ota"])
+        assert args.fidelity == "full"
+
+
+class TestCommands:
+    def test_describe_output(self, capsys):
+        assert main(["describe", "tia"]) == 0
+        out = capsys.readouterr().out
+        assert "minimize power" in out
+        assert "L1" in out
+
+    def test_describe_unknown_task(self):
+        with pytest.raises(SystemExit):
+            main(["describe", "rfmixer"])
+
+    def test_netlist_output(self, capsys):
+        assert main(["netlist", "ota"]) == 0
+        out = capsys.readouterr().out
+        assert "two-stage-ota" in out
+        assert "M1a" in out
+        assert ".end" in out
+
+    def test_netlist_synthetic_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["netlist", "sphere"])
+
+    def test_optimize_sphere(self, capsys):
+        rc = main(["optimize", "sphere", "--sims", "6", "--init", "8",
+                   "--method", "Random"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best FoM" in out
+        assert "metrics:" in out
+
+    def test_compare_sphere(self, capsys):
+        rc = main(["compare", "sphere", "--methods", "Random,DE",
+                   "--runs", "1", "--sims", "5", "--init", "8", "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Algorithm" in out
+        assert "Random" in out and "DE" in out

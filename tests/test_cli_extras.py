@@ -1,0 +1,40 @@
+"""Tests for the newer CLI features (corners, report)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCornerFlag:
+    def test_corner_accepted(self, capsys):
+        assert main(["--corner", "ss", "describe", "ota"]) == 0
+        out = capsys.readouterr().out
+        assert "minimize power" in out
+
+    def test_invalid_corner_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--corner", "typ", "describe", "ota"])
+
+
+class TestReportCommand:
+    def test_report_written(self, tmp_path, capsys):
+        (tmp_path / "table1_ota_params.txt").write_text("BODY")
+        out_file = tmp_path / "R.md"
+        rc = main(["report", "--results", str(tmp_path),
+                   "--output", str(out_file)])
+        assert rc == 0
+        assert out_file.exists()
+        assert "BODY" in out_file.read_text()
+
+
+class TestSaveFlag:
+    def test_optimize_save_roundtrip(self, tmp_path, capsys):
+        from repro.core.serialize import load_result
+
+        out = tmp_path / "run.npz"
+        rc = main(["optimize", "sphere", "--sims", "4", "--init", "6",
+                   "--method", "Random", "--save", str(out)])
+        assert rc == 0
+        loaded = load_result(out)
+        assert loaded.method == "Random"
+        assert loaded.n_sims == 4

@@ -1,0 +1,79 @@
+"""End-to-end integration tests crossing all subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MAOptConfig
+from repro.core.ma_opt import MAOptimizer
+
+TINY = dict(critic_steps=15, actor_steps=8, batch_size=16, n_elite=6,
+            action_scale=0.15)
+
+
+class TestMAOptOnRealCircuit:
+    """MA-Opt driving the actual SPICE engine through the OTA task."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.circuits import TwoStageOTA
+
+        task = TwoStageOTA(fidelity="fast")
+        cfg = MAOptConfig.from_preset("ma-opt", seed=11, **TINY)
+        return task, MAOptimizer(task, cfg).run(n_sims=9, n_init=12)
+
+    def test_budget_and_records(self, result):
+        task, res = result
+        assert res.n_sims == 9
+        for r in res.records:
+            assert r.metrics.shape == (task.m + 1,)
+            assert np.all(np.isfinite(r.metrics))
+
+    def test_fom_trace_monotone(self, result):
+        _, res = result
+        trace = res.best_fom_trace()
+        assert all(b <= a + 1e-12 for a, b in zip(trace, trace[1:]))
+
+    def test_designs_in_cube(self, result):
+        _, res = result
+        for r in res.records:
+            assert np.all(r.x >= 0.0) and np.all(r.x <= 1.0)
+
+
+class TestCrossMethodProtocol:
+    """All methods consume the same initial set and produce comparable
+    results on a circuit task (the Table II machinery end to end)."""
+
+    def test_mini_table_on_tia(self):
+        from repro.circuits import ThreeStageTIA
+        from repro.experiments import (
+            comparison_table,
+            make_initial_set,
+            run_method,
+        )
+
+        task = ThreeStageTIA(fidelity="fast")
+        x, f = make_initial_set(task, 10, seed=2)
+        results = {}
+        for m in ("Random", "DNN-Opt", "MA-Opt"):
+            results[m] = [run_method(m, task, 5, x, f, seed=3,
+                                     maopt_overrides=TINY)]
+        text = comparison_table(results, task)
+        assert "Random" in text and "MA-Opt" in text
+
+
+class TestSeededDeterminismAcrossStack:
+    def test_full_stack_determinism(self):
+        """Same seeds -> identical results through NN training, SPICE
+        simulation, and optimizer control flow."""
+        from repro.circuits import TwoStageOTA
+        from repro.experiments import make_initial_set, run_method
+
+        task = TwoStageOTA(fidelity="fast")
+        x, f = make_initial_set(task, 8, seed=5)
+        a = run_method("MA-Opt", task, 4, x, f, seed=9,
+                       maopt_overrides=TINY)
+        b = run_method("MA-Opt", task, 4, x, f, seed=9,
+                       maopt_overrides=TINY)
+        np.testing.assert_allclose(a.foms, b.foms)
+        for ra, rb in zip(a.records, b.records):
+            np.testing.assert_allclose(ra.x, rb.x)

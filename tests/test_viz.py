@@ -1,0 +1,72 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import bode_plot, line_plot, multi_line_plot
+
+
+class TestLinePlot:
+    def test_contains_markers_and_ranges(self):
+        x = np.linspace(0, 2, 40)
+        art = line_plot(x, np.sin(x), title="sine", y_label="v")
+        assert "sine" in art
+        assert "*" in art
+        assert "v:" in art
+
+    def test_flat_series_handled(self):
+        art = line_plot(np.linspace(0, 1, 10), np.full(10, 3.0))
+        assert "3" in art
+
+    def test_monotone_series_corner_markers(self):
+        x = np.linspace(0, 1, 30)
+        art = line_plot(x, x)
+        rows = [r for r in art.splitlines() if r.startswith("|")]
+        assert rows[0].rstrip().endswith("*")   # max at the right
+        assert rows[-1][1] == "*"               # min at the left
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot(np.zeros(1), np.zeros(1))
+        with pytest.raises(ValueError):
+            line_plot(np.zeros(5), np.zeros(4))
+        with pytest.raises(ValueError):
+            line_plot(np.zeros(5), np.zeros(5), width=2)
+
+
+class TestMultiLine:
+    def test_legend_per_series(self):
+        x = np.linspace(0, 1, 20)
+        art = multi_line_plot(x, {"up": x, "down": 1 - x})
+        assert "a = up" in art
+        assert "b = down" in art
+
+    def test_empty_series_raise(self):
+        with pytest.raises(ValueError):
+            multi_line_plot(np.zeros(3), {})
+
+
+class TestBode:
+    def test_single_pole_plot(self):
+        freqs = np.logspace(1, 7, 60)
+        h = 100.0 / (1 + 1j * freqs / 1e4)
+        art = bode_plot(freqs, h, title="pole")
+        assert "pole" in art
+        assert "phase" in art
+        assert "dB" in art
+
+    def test_rejects_nonpositive_freq(self):
+        with pytest.raises(ValueError):
+            bode_plot(np.array([0.0, 1.0]), np.ones(2))
+
+    def test_real_circuit_response(self):
+        from repro.spice import Circuit, ac_analysis
+
+        ckt = Circuit()
+        ckt.add_vsource("Vin", "in", "0", 0.0, ac=1.0)
+        ckt.add_resistor("R", "in", "out", 1e3)
+        ckt.add_capacitor("C", "out", "0", 1e-9)
+        freqs = np.logspace(3, 8, 40)
+        h = ac_analysis(ckt, freqs).v("out")
+        art = bode_plot(freqs, h)
+        assert len(art.splitlines()) > 15

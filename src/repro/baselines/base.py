@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 import time
+from typing import Any, Iterable
 
 import numpy as np
 
 from repro.core.fom import FigureOfMerit
 from repro.core.problem import SizingTask
 from repro.core.result import EvaluationRecord, OptimizationResult
+from repro.obs import NULL_TELEMETRY, RunLogger, Telemetry
 
 
 class BaselineOptimizer:
@@ -18,14 +20,24 @@ class BaselineOptimizer:
     may override :meth:`_observe` to update internal state.  The driver
     enforces the shared-initial-set protocol and produces the same
     :class:`OptimizationResult` as the MA-Opt family.
+
+    Like :class:`~repro.core.ma_opt.MAOptimizer`, baselines accept a
+    :class:`~repro.obs.Telemetry` bundle and observer callbacks; each
+    simulation is treated as a round of size one for observer purposes.
     """
 
     method_name = "baseline"
 
-    def __init__(self, task: SizingTask, seed: int | None = None) -> None:
+    def __init__(self, task: SizingTask, seed: int | None = None,
+                 telemetry: Telemetry | None = None,
+                 observers: Iterable[Any] = ()) -> None:
         self.task = task
         self.rng = np.random.default_rng(seed)
         self.fom = FigureOfMerit(task)
+        self.obs = telemetry or NULL_TELEMETRY
+        self._observers = self.obs.observers.extended(observers)
+        self.run_log = (self.obs.run_logger
+                        if self.obs.run_logger is not None else RunLogger())
         self.x_hist: list[np.ndarray] = []
         self.y_hist: list[float] = []
 
@@ -44,33 +56,66 @@ class BaselineOptimizer:
             x_init: np.ndarray | None = None,
             f_init: np.ndarray | None = None) -> OptimizationResult:
         start = time.perf_counter()
-        if x_init is None:
-            x_init = self.task.space.sample(self.rng, n_init)
-        x_init = np.atleast_2d(np.asarray(x_init, dtype=float))
-        if f_init is None:
-            f_init = self.task.evaluate_batch(x_init)
-        f_init = np.atleast_2d(np.asarray(f_init, dtype=float))
-        init_foms = self.fom(f_init)
-        for x, g in zip(x_init, init_foms):
-            self.x_hist.append(np.asarray(x, dtype=float))
-            self.y_hist.append(float(g))
-        records: list[EvaluationRecord] = []
-        t0 = time.perf_counter()
-        for i in range(n_sims):
-            x = np.clip(self._propose(), 0.0, 1.0)
-            metrics = self.task.evaluate(x)
-            g = float(self.fom(metrics))
-            self.x_hist.append(x.copy())
-            self.y_hist.append(g)
-            self._observe(x, g, metrics)
-            records.append(EvaluationRecord(
-                index=i, x=x.copy(), metrics=metrics, fom=g,
-                kind=self.method_name, owner=None,
-                feasible=self.task.is_feasible(metrics),
-                t_wall=time.perf_counter() - t0,
-            ))
-        return OptimizationResult(
+        self.run_log.emit("run_start", method=self.method_name,
+                          task=self.task.name, n_sims=n_sims)
+        with self.obs.span("run", method=self.method_name,
+                           task=self.task.name):
+            if x_init is None:
+                x_init = self.task.space.sample(self.rng, n_init)
+            x_init = np.atleast_2d(np.asarray(x_init, dtype=float))
+            if f_init is None:
+                with self.obs.span("simulate", n=len(x_init), kind="init"):
+                    f_init = self.task.evaluate_batch(x_init)
+                self.obs.inc("sims_total", len(x_init), kind="init")
+            f_init = np.atleast_2d(np.asarray(f_init, dtype=float))
+            init_foms = self.fom(f_init)
+            for x, g in zip(x_init, init_foms):
+                self.x_hist.append(np.asarray(x, dtype=float))
+                self.y_hist.append(float(g))
+                self.run_log.emit("evaluation", kind="init", fom=float(g))
+            records: list[EvaluationRecord] = []
+            # t_wall convention (shared with MAOptimizer): the clock starts
+            # when the first post-init round begins, before proposal work.
+            t0 = time.perf_counter()
+            for i in range(n_sims):
+                self._observers.emit("on_round_start", self, i + 1,
+                                     self.method_name)
+                with self.obs.span("propose"):
+                    x = np.clip(self._propose(), 0.0, 1.0)
+                t_sim = time.perf_counter()
+                with self.obs.span("simulate", n=1, kind=self.method_name):
+                    metrics = self.task.evaluate(x)
+                self.obs.inc("sims_total", kind=self.method_name)
+                self.obs.observe("sim_latency_s",
+                                 time.perf_counter() - t_sim,
+                                 kind=self.method_name)
+                g = float(self.fom(metrics))
+                self.x_hist.append(x.copy())
+                self.y_hist.append(g)
+                self._observe(x, g, metrics)
+                rec = EvaluationRecord(
+                    index=i, x=x.copy(), metrics=metrics, fom=g,
+                    kind=self.method_name, owner=None,
+                    feasible=self.task.is_feasible(metrics),
+                    t_wall=time.perf_counter() - t0,
+                )
+                records.append(rec)
+                self.run_log.emit("evaluation", index=i,
+                                  kind=self.method_name, fom=g,
+                                  feasible=bool(rec.feasible),
+                                  t_wall=rec.t_wall)
+                self._observers.emit("on_evaluation", self, rec)
+                self._observers.emit(
+                    "on_round_end", self, i + 1,
+                    {"round": i + 1, "kind": self.method_name, "fom": g})
+        result = OptimizationResult(
             task_name=self.task.name, method=self.method_name,
             records=records, init_best_fom=float(np.min(init_foms)),
             wall_time_s=time.perf_counter() - start,
         )
+        self.run_log.emit("run_end", method=self.method_name,
+                          n_sims=len(records), best_fom=result.best_fom,
+                          success=result.success,
+                          wall_time_s=result.wall_time_s)
+        self._observers.emit("on_run_end", self, result)
+        return result

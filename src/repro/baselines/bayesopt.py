@@ -25,8 +25,9 @@ class BayesOpt(BaselineOptimizer):
     def __init__(self, task: SizingTask, seed: int | None = None,
                  n_candidates: int = 1500, local_frac: float = 0.3,
                  local_sigma: float = 0.05, xi: float = 0.01,
-                 max_train: int = 400, hp_every: int = 10) -> None:
-        super().__init__(task, seed)
+                 max_train: int = 400, hp_every: int = 10,
+                 **obs_kwargs) -> None:
+        super().__init__(task, seed, **obs_kwargs)
         if n_candidates < 10:
             raise ValueError("need a reasonable candidate pool")
         if hp_every < 1:

@@ -19,8 +19,8 @@ class DifferentialEvolution(BaselineOptimizer):
 
     def __init__(self, task: SizingTask, seed: int | None = None,
                  pop_size: int = 20, f_weight: float = 0.6,
-                 crossover: float = 0.9) -> None:
-        super().__init__(task, seed)
+                 crossover: float = 0.9, **obs_kwargs) -> None:
+        super().__init__(task, seed, **obs_kwargs)
         if pop_size < 4:
             raise ValueError("DE needs at least 4 individuals")
         if not 0.0 < crossover <= 1.0:

@@ -48,8 +48,8 @@ class PPOSizer(BaselineOptimizer):
                  hidden: tuple[int, ...] = (64, 64),
                  lr: float = 3e-4, clip: float = 0.2, gamma: float = 0.95,
                  entropy_coef: float = 0.01, epochs: int = 6,
-                 success_bonus: float = 10.0) -> None:
-        super().__init__(task, seed)
+                 success_bonus: float = 10.0, **obs_kwargs) -> None:
+        super().__init__(task, seed, **obs_kwargs)
         if horizon < 1 or not 0 < step_frac < 1 or not 0 < clip < 1:
             raise ValueError("bad PPO hyper-parameters")
         self.horizon = horizon

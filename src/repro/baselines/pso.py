@@ -19,8 +19,9 @@ class ParticleSwarm(BaselineOptimizer):
 
     def __init__(self, task: SizingTask, seed: int | None = None,
                  n_particles: int = 20, inertia: float = 0.72,
-                 c_cognitive: float = 1.5, c_social: float = 1.5) -> None:
-        super().__init__(task, seed)
+                 c_cognitive: float = 1.5, c_social: float = 1.5,
+                 **obs_kwargs) -> None:
+        super().__init__(task, seed, **obs_kwargs)
         if n_particles < 2:
             raise ValueError("need at least 2 particles")
         self.n_particles = n_particles

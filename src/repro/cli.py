@@ -52,15 +52,82 @@ def cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_telemetry(args: argparse.Namespace):
+    """Telemetry bundle for the CLI's --log-level/--trace-out/--metrics-out/
+    --events-out flags; returns None when no flag is set (no-op fast path)."""
+    from repro.obs import (MetricsRegistry, RunLogger, Telemetry, Tracer,
+                           configure_logging)
+
+    wants = (args.log_level or args.trace_out or args.metrics_out
+             or args.events_out)
+    if not wants:
+        return None
+    # Fail before the run, not after: --trace-out/--metrics-out only write
+    # at export time, so a bad path would otherwise waste the whole run.
+    for path in (args.trace_out, args.metrics_out, args.events_out):
+        if path:
+            try:
+                open(path, "a", encoding="utf-8").close()
+            except OSError as exc:
+                raise SystemExit(f"repro: error: cannot write {path}: "
+                                 f"{exc.strerror or exc}")
+    logger = None
+    if args.log_level:
+        logger = configure_logging(args.log_level)
+    run_logger = None
+    if args.events_out or logger is not None:
+        run_logger = RunLogger(path=args.events_out, logger=logger)
+    return Telemetry(
+        tracer=Tracer() if args.trace_out else None,
+        metrics=MetricsRegistry() if args.metrics_out else None,
+        run_logger=run_logger,
+    )
+
+
+def _finish_telemetry(args: argparse.Namespace, telemetry) -> None:
+    """Export the sinks selected on the command line."""
+    if telemetry is None:
+        return
+    if telemetry.tracer is not None:
+        n = telemetry.tracer.export_jsonl(args.trace_out)
+        print(f"wrote {n} spans to {args.trace_out}")
+        from repro.obs.report import report_from_tracer
+
+        print(report_from_tracer(telemetry.tracer))
+    if telemetry.metrics is not None:
+        telemetry.metrics.export(args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}")
+    if telemetry.run_logger is not None:
+        telemetry.run_logger.close()
+        if args.events_out:
+            print(f"wrote {len(telemetry.run_logger)} events "
+                  f"to {args.events_out}")
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--log-level", default=None,
+                   choices=("debug", "info", "warning", "error"),
+                   help="mirror run events to stdlib logging at this level")
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="write the span trace as JSONL and print a "
+                        "per-phase wall-time breakdown")
+    p.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="export metrics (.csv -> CSV, else JSON)")
+    p.add_argument("--events-out", metavar="PATH", default=None,
+                   help="write one JSONL run event per evaluation/round")
+
+
 def cmd_optimize(args: argparse.Namespace) -> int:
     from repro.experiments import make_initial_set, run_method
 
     task = _make_task(args.task, args.fidelity, args.corner)
     print(f"{args.method} on {task.name!r}: "
           f"{args.init} init + {args.sims} sims (seed {args.seed})")
+    telemetry = _build_telemetry(args)
     x, f = make_initial_set(task, args.init, seed=args.seed)
     res = run_method(args.method, task, args.sims, x, f, seed=args.seed,
-                     maopt_overrides=_MAOPT_TUNED)
+                     maopt_overrides=_MAOPT_TUNED, telemetry=telemetry)
+    _finish_telemetry(args, telemetry)
     trace = res.best_fom_trace()
     print(f"best FoM: {trace[0]:.4f} -> {trace[-1]:.4f}; "
           f"specs met: {res.success}; wall {res.wall_time_s:.1f}s")
@@ -85,10 +152,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
     task = _make_task(args.task, args.fidelity)
     methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    telemetry = _build_telemetry(args)
     results = run_comparison(task, methods, n_runs=args.runs,
                              n_sims=args.sims, n_init=args.init,
                              seed=args.seed, verbose=not args.quiet,
-                             maopt_overrides=_MAOPT_TUNED)
+                             maopt_overrides=_MAOPT_TUNED,
+                             telemetry=telemetry)
+    _finish_telemetry(args, telemetry)
     print()
     print(comparison_table(results, task))
     print()
@@ -145,6 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--init", type=int, default=40)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--save", help="archive the run to this .npz file")
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_optimize)
 
     p = sub.add_parser("compare", help="multi-method comparison (Table II)")
@@ -155,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--init", type=int, default=30)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--quiet", action="store_true")
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("report", help="assemble benchmarks/results into one markdown report")

@@ -14,11 +14,20 @@ Alg. 3 alternates: optimization rounds until the specs are met, then
 near-sampling every ``t_ns``-th round.  All four paper variants (DNN-Opt,
 MA-Opt1, MA-Opt2, MA-Opt) are this class under different
 :class:`~repro.core.config.MAOptConfig` presets.
+
+Observability: the optimizer accepts a :class:`~repro.obs.Telemetry`
+bundle and/or a list of :class:`~repro.obs.ObserverProtocol` observers.
+Every simulation flows through the instrumented
+:class:`~repro.core.parallel.SimulationExecutor`; every round and every
+evaluation emits one structured event on the run log (see
+``docs/observability.md``).  The legacy :attr:`MAOptimizer.diagnostics`
+list is now a read-only view over the ``round_end`` events.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -31,14 +40,24 @@ from repro.core.population import EliteSet, TotalDesignSet
 from repro.core.problem import SizingTask
 from repro.core.result import EvaluationRecord, OptimizationResult
 from repro.core.training import propose_design, train_actor, train_critic
+from repro.obs import NULL_TELEMETRY, RunLogger, Telemetry
 
 
 class MAOptimizer:
     """The MA-Opt family optimizer (see module docstring)."""
 
-    def __init__(self, task: SizingTask, config: MAOptConfig | None = None) -> None:
+    def __init__(self, task: SizingTask, config: MAOptConfig | None = None,
+                 telemetry: Telemetry | None = None,
+                 observers: Iterable[Any] = ()) -> None:
         self.task = task
         self.config = config or MAOptConfig()
+        self.obs = telemetry or NULL_TELEMETRY
+        self._observers = self.obs.observers.extended(observers)
+        # The run log always exists (in-memory) — it backs `diagnostics`;
+        # a telemetry-supplied RunLogger additionally gets JSONL/logging.
+        # (`is None` check: an empty RunLogger is falsy via __len__.)
+        self.run_log = (self.obs.run_logger
+                        if self.obs.run_logger is not None else RunLogger())
         self.rng = np.random.default_rng(self.config.seed)
         self.fom = FigureOfMerit(task)
         n_metrics = task.m + 1
@@ -77,15 +96,23 @@ class MAOptimizer:
                 for i in range(self.config.n_actors)
             ]
         self._executor = SimulationExecutor(
-            task, n_workers=self.config.n_actors if self.config.parallel else 0
+            task, n_workers=self.config.n_actors if self.config.parallel else 0,
+            telemetry=self.obs,
         )
         self._round = 0
         self._records: list[EvaluationRecord] = []
         self._init_best_fom = np.inf
         self._initialized = False
         self._t0: float | None = None
-        # Per-round research diagnostics (critic loss, elite-box width, ...)
-        self.diagnostics: list[dict] = []
+
+    @property
+    def diagnostics(self) -> list[dict]:
+        """Per-round research diagnostics (critic loss, elite-box width, ...).
+
+        Backward-compatible view over the run log's ``round_end`` events —
+        same dicts as the pre-telemetry ad-hoc list.
+        """
+        return [dict(e.payload) for e in self.run_log.events("round_end")]
 
     # -- initialization ------------------------------------------------------
     def initialize(self, n_init: int = 100,
@@ -103,7 +130,7 @@ class MAOptimizer:
             f_init = None
         x_init = np.atleast_2d(np.asarray(x_init, dtype=float))
         if f_init is None:
-            f_init = self._executor.evaluate_batch(x_init)
+            f_init = self._executor.evaluate_batch(x_init, kind="init")
         f_init = np.atleast_2d(np.asarray(f_init, dtype=float))
         if len(f_init) != len(x_init):
             raise ValueError("x_init and f_init lengths differ")
@@ -111,6 +138,8 @@ class MAOptimizer:
             g = float(self.fom(f))
             self.total.add(x, f, g, owner=None)
             self._init_best_fom = min(self._init_best_fom, g)
+            self.run_log.emit("evaluation", kind="init", fom=g,
+                              feasible=bool(self.task.is_feasible(f)))
         self._initialized = True
 
     # -- single round ----------------------------------------------------------
@@ -120,12 +149,18 @@ class MAOptimizer:
             return False
         return bool(np.any(self.fom.is_feasible(metrics)))
 
+    def _start_clock(self) -> None:
+        # t_wall convention (shared with baselines/base.py): the clock
+        # starts when the first post-init round begins, before any
+        # training or proposal work.
+        if self._t0 is None:
+            self._t0 = time.perf_counter()
+
     def _record(self, x: np.ndarray, metrics: np.ndarray, kind: str,
                 owner: int | None) -> EvaluationRecord:
         g = float(self.fom(metrics))
         self.total.add(x, metrics, g, owner=owner)
-        if self._t0 is None:
-            self._t0 = time.perf_counter()
+        self._start_clock()
         rec = EvaluationRecord(
             index=len(self._records), x=np.asarray(x, dtype=float).copy(),
             metrics=np.asarray(metrics, dtype=float).copy(), fom=g, kind=kind,
@@ -133,71 +168,95 @@ class MAOptimizer:
             t_wall=time.perf_counter() - self._t0,
         )
         self._records.append(rec)
+        self.run_log.emit("evaluation", index=rec.index, kind=kind,
+                          owner=owner, fom=g, feasible=bool(rec.feasible),
+                          t_wall=rec.t_wall)
+        self._observers.emit("on_evaluation", self, rec)
         return rec
 
     def optimization_round(self, budget: int | None = None
                            ) -> list[EvaluationRecord]:
         """Alg. 1: critic + actor training, then one proposal per actor."""
+        self._start_clock()
         cfg = self.config
         n_propose = cfg.n_actors if budget is None else min(cfg.n_actors, budget)
-        critic_steps = cfg.critic_steps * (
-            n_propose if cfg.scale_training_with_actors else 1)
-        critic_loss = train_critic(self.critic, self.total, critic_steps,
-                                   cfg.batch_size, self.rng)
-        actor_losses: list[float] = []
-        proposals: list[tuple[int, np.ndarray]] = []
-        for i in range(n_propose):
-            actor_losses.append(train_actor(
-                self.actors[i], self.critic, self.fom, self.total,
-                self.actor_elites[i], cfg.actor_steps, cfg.batch_size,
-                cfg.lambda_viol, self.rng,
-                train_on=cfg.actor_train_on))
-            proposal = propose_design(self.actors[i], self.critic, self.fom,
-                                      self.actor_elites[i],
-                                      exclude=[p for _, p in proposals],
-                                      min_dist=cfg.proposal_min_dist,
-                                      ucb_beta=cfg.ucb_beta)
-            if cfg.proposal_noise > 0:
-                proposal = np.clip(
-                    proposal + self.rng.normal(0.0, cfg.proposal_noise,
-                                               size=proposal.shape),
-                    0.0, 1.0,
-                )
-            proposals.append((i, proposal))
-        designs = np.array([p[1] for p in proposals])
-        metrics = self._executor.evaluate_batch(designs)
-        records = [
-            self._record(x, f, kind="actor", owner=i)
-            for (i, x), f in zip(proposals, metrics)
-        ]
+        self.run_log.emit("round_start", round=self._round, kind="actor",
+                          n_propose=n_propose)
+        self._observers.emit("on_round_start", self, self._round, "actor")
+        with self.obs.span("round", index=self._round, kind="actor"):
+            critic_steps = cfg.critic_steps * (
+                n_propose if cfg.scale_training_with_actors else 1)
+            critic_loss = train_critic(self.critic, self.total, critic_steps,
+                                       cfg.batch_size, self.rng,
+                                       telemetry=self.obs)
+            actor_losses: list[float] = []
+            proposals: list[tuple[int, np.ndarray]] = []
+            for i in range(n_propose):
+                actor_losses.append(train_actor(
+                    self.actors[i], self.critic, self.fom, self.total,
+                    self.actor_elites[i], cfg.actor_steps, cfg.batch_size,
+                    cfg.lambda_viol, self.rng,
+                    train_on=cfg.actor_train_on,
+                    telemetry=self.obs, actor_index=i))
+                proposal = propose_design(self.actors[i], self.critic,
+                                          self.fom, self.actor_elites[i],
+                                          exclude=[p for _, p in proposals],
+                                          min_dist=cfg.proposal_min_dist,
+                                          ucb_beta=cfg.ucb_beta,
+                                          telemetry=self.obs)
+                if cfg.proposal_noise > 0:
+                    proposal = np.clip(
+                        proposal + self.rng.normal(0.0, cfg.proposal_noise,
+                                                   size=proposal.shape),
+                        0.0, 1.0,
+                    )
+                proposals.append((i, proposal))
+            designs = np.array([p[1] for p in proposals])
+            metrics = self._executor.evaluate_batch(designs, kind="actor")
+            records = [
+                self._record(x, f, kind="actor", owner=i)
+                for (i, x), f in zip(proposals, metrics)
+            ]
         lb, ub = self.global_elite.bounds()
-        self.diagnostics.append({
+        info = {
             "round": self._round,
             "kind": "actor",
             "critic_loss": critic_loss,
             "actor_losses": actor_losses,
             "elite_box_width": float(np.mean(ub - lb)),
             "best_fom": float(self.total.foms.min()),
-        })
+        }
+        self.obs.set_gauge("elite_box_width", info["elite_box_width"])
+        self.obs.set_gauge("best_fom", info["best_fom"])
+        self.run_log.emit("round_end", **info)
+        self._observers.emit("on_round_end", self, self._round, info)
         return records
 
     def near_sampling_round(self) -> EvaluationRecord:
         """Alg. 2: simulate the critic-predicted best near-neighbour of the
         incumbent best design."""
-        x_opt, _ = self.global_elite.best()
-        candidate = near_sampling_proposal(
-            self.critic, self.fom, x_opt, self.config.ns_radius,
-            self.config.ns_samples, self.rng,
-            margin=self.config.ns_margin,
-        )
-        metrics = self.task.evaluate(candidate)
-        record = self._record(candidate, metrics, kind="ns", owner=None)
-        self.diagnostics.append({
+        self._start_clock()
+        self.run_log.emit("round_start", round=self._round, kind="ns")
+        self._observers.emit("on_round_start", self, self._round, "ns")
+        with self.obs.span("round", index=self._round, kind="ns"):
+            x_opt, _ = self.global_elite.best()
+            candidate = near_sampling_proposal(
+                self.critic, self.fom, x_opt, self.config.ns_radius,
+                self.config.ns_samples, self.rng,
+                margin=self.config.ns_margin,
+                telemetry=self.obs,
+            )
+            metrics = self._executor.evaluate_batch(candidate, kind="ns")[0]
+            record = self._record(candidate, metrics, kind="ns", owner=None)
+        info = {
             "round": self._round,
             "kind": "ns",
             "improved": bool(record.fom < self.total.foms[:-1].min()),
             "best_fom": float(self.total.foms.min()),
-        })
+        }
+        self.obs.set_gauge("best_fom", info["best_fom"])
+        self.run_log.emit("round_end", **info)
+        self._observers.emit("on_round_end", self, self._round, info)
         return record
 
     def step(self, budget: int | None = None) -> list[EvaluationRecord]:
@@ -221,20 +280,29 @@ class MAOptimizer:
             method_name: str | None = None) -> OptimizationResult:
         """Alg. 3: run until ``n_sims`` post-init simulations are spent."""
         start = time.perf_counter()
-        if not self._initialized:
-            self.initialize(n_init=n_init, x_init=x_init, f_init=f_init)
-        while len(self._records) < n_sims:
-            self.step(budget=n_sims - len(self._records))
-        self._executor.close()
-        return OptimizationResult(
+        name = method_name or self._default_name()
+        self.run_log.emit("run_start", method=name, task=self.task.name,
+                          n_sims=n_sims)
+        with self.obs.span("run", method=name, task=self.task.name):
+            if not self._initialized:
+                self.initialize(n_init=n_init, x_init=x_init, f_init=f_init)
+            while len(self._records) < n_sims:
+                self.step(budget=n_sims - len(self._records))
+            self._executor.close()
+        result = OptimizationResult(
             task_name=self.task.name,
-            method=method_name or self._default_name(),
+            method=name,
             records=list(self._records),
             init_best_fom=self._init_best_fom,
             wall_time_s=time.perf_counter() - start,
             meta={"rounds": self._round, "config": self.config,
                   "diagnostics": self.diagnostics},
         )
+        self.run_log.emit("run_end", method=name, n_sims=len(self._records),
+                          best_fom=result.best_fom, success=result.success,
+                          wall_time_s=result.wall_time_s)
+        self._observers.emit("on_run_end", self, result)
+        return result
 
     def _default_name(self) -> str:
         cfg = self.config

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.fom import FigureOfMerit
 from repro.core.networks import Critic
+from repro.obs import NULL_TELEMETRY, Telemetry
 
 
 def near_sample_candidates(x_opt: np.ndarray, radius: np.ndarray | float,
@@ -35,7 +36,8 @@ def near_sample_candidates(x_opt: np.ndarray, radius: np.ndarray | float,
 def near_sampling_proposal(critic: Critic, fom: FigureOfMerit,
                            x_opt: np.ndarray, radius: np.ndarray | float,
                            n_samples: int, rng: np.random.Generator,
-                           margin: float = 0.0) -> np.ndarray:
+                           margin: float = 0.0,
+                           telemetry: Telemetry | None = None) -> np.ndarray:
     """Alg. 2 lines 2-7: return x_opt^predicted, the critic-predicted best
     of the near-sampling set (to be SPICE-simulated by the caller).
 
@@ -45,10 +47,12 @@ def near_sampling_proposal(critic: Critic, fom: FigureOfMerit,
     candidates that are predicted-feasible but actually infeasible.
     """
     x_opt = np.asarray(x_opt, dtype=float).ravel()
-    candidates = near_sample_candidates(x_opt, radius, n_samples, rng)
-    states = np.broadcast_to(x_opt, candidates.shape)
-    metrics = critic.predict(states, candidates - states)
-    if margin > 0:
-        metrics = fom.with_margin(metrics, margin)
-    g = fom(metrics)
-    return candidates[int(np.argmin(g))]
+    obs = telemetry or NULL_TELEMETRY
+    with obs.span("near-sampling", n_samples=n_samples):
+        candidates = near_sample_candidates(x_opt, radius, n_samples, rng)
+        states = np.broadcast_to(x_opt, candidates.shape)
+        metrics = critic.predict(states, candidates - states)
+        if margin > 0:
+            metrics = fom.with_margin(metrics, margin)
+        g = fom(metrics)
+        return candidates[int(np.argmin(g))]

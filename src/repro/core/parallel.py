@@ -6,6 +6,13 @@ multiprocessing.  :class:`SimulationExecutor` reproduces that: with
 with ``n_workers = 0`` it degrades to a serial loop (the default for tests
 and benches, where determinism and low overhead matter more).
 
+The executor is the single instrumented choke point every simulation flows
+through.  Each batch opens a ``simulate`` span, each simulation is timed
+individually — in the worker process for the pool path, so queueing and
+pickling overhead are excluded — and the timings feed the
+``sim_latency_s`` histogram, the ``sims_total{kind=...}`` counter, and the
+executor's :attr:`~SimulationExecutor.batch_timings` log.
+
 The task object must be picklable for the parallel path — all tasks in
 :mod:`repro.circuits` and :mod:`repro.core.synthetic` are.
 """
@@ -13,10 +20,13 @@ The task object must be picklable for the parallel path — all tasks in
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.problem import SizingTask
+from repro.obs import NULL_TELEMETRY, Telemetry
 
 # Module-level slot for pool workers (set by the initializer so the task is
 # shipped once per worker instead of once per design).
@@ -28,20 +38,37 @@ def _init_worker(task: SizingTask) -> None:
     _WORKER_TASK = task
 
 
-def _evaluate_one(u: np.ndarray) -> np.ndarray:
+def _evaluate_one(u: np.ndarray) -> tuple[np.ndarray, float]:
+    """Evaluate one design in a worker; returns (metrics, seconds)."""
     if _WORKER_TASK is None:  # pragma: no cover - defensive
         raise RuntimeError("worker not initialized")
-    return _WORKER_TASK.evaluate(u)
+    t0 = time.perf_counter()
+    metrics = _WORKER_TASK.evaluate(u)
+    return metrics, time.perf_counter() - t0
+
+
+@dataclass
+class BatchTiming:
+    """Timing record for one :meth:`SimulationExecutor.evaluate_batch`."""
+
+    n: int                    # designs in the batch
+    kind: str                 # provenance label (init/actor/ns/...)
+    wall_s: float             # end-to-end batch wall time in the caller
+    sim_s: tuple[float, ...]  # per-simulation seconds (worker-side for pools)
+    parallel: bool            # True when the pool path ran
 
 
 class SimulationExecutor:
     """Evaluates design batches, serially or over a process pool."""
 
-    def __init__(self, task: SizingTask, n_workers: int = 0) -> None:
+    def __init__(self, task: SizingTask, n_workers: int = 0,
+                 telemetry: Telemetry | None = None) -> None:
         if n_workers < 0:
             raise ValueError("n_workers must be >= 0")
         self.task = task
         self.n_workers = n_workers
+        self.obs = telemetry or NULL_TELEMETRY
+        self.batch_timings: list[BatchTiming] = []
         self._pool: mp.pool.Pool | None = None
 
     def _ensure_pool(self) -> mp.pool.Pool:
@@ -54,13 +81,41 @@ class SimulationExecutor:
             )
         return self._pool
 
-    def evaluate_batch(self, designs: np.ndarray) -> np.ndarray:
-        """Metric vectors for a batch of normalized designs, shape (n, m+1)."""
+    def evaluate_batch(self, designs: np.ndarray,
+                       kind: str = "sim") -> np.ndarray:
+        """Metric vectors for a batch of normalized designs, shape (n, m+1).
+
+        ``kind`` labels the batch's provenance (``init``/``actor``/``ns``)
+        in metrics and timing records.
+        """
         designs = np.atleast_2d(np.asarray(designs, dtype=float))
-        if self.n_workers == 0 or len(designs) == 1:
-            return np.stack([self.task.evaluate(u) for u in designs])
-        pool = self._ensure_pool()
-        return np.stack(pool.map(_evaluate_one, list(designs)))
+        use_pool = self.n_workers > 0 and len(designs) > 1
+        t_batch = time.perf_counter()
+        with self.obs.span("simulate", n=len(designs), kind=kind,
+                           parallel=use_pool):
+            if not use_pool:
+                outputs, durations = [], []
+                for u in designs:
+                    t0 = time.perf_counter()
+                    outputs.append(self.task.evaluate(u))
+                    durations.append(time.perf_counter() - t0)
+                metrics = np.stack(outputs)
+            else:
+                pool = self._ensure_pool()
+                self.obs.set_gauge("pool_workers_busy",
+                                   min(self.n_workers, len(designs)))
+                results = pool.map(_evaluate_one, list(designs))
+                self.obs.set_gauge("pool_workers_busy", 0)
+                metrics = np.stack([m for m, _ in results])
+                durations = [dt for _, dt in results]
+        wall = time.perf_counter() - t_batch
+        self.batch_timings.append(BatchTiming(
+            n=len(designs), kind=kind, wall_s=wall,
+            sim_s=tuple(durations), parallel=use_pool))
+        self.obs.inc("sims_total", len(designs), kind=kind)
+        for dt in durations:
+            self.obs.observe("sim_latency_s", dt, kind=kind)
+        return metrics
 
     def close(self) -> None:
         """Shut the pool down (idempotent)."""

@@ -23,7 +23,13 @@ class EvaluationRecord:
     kind: str = "init"
     owner: int | None = None
     feasible: bool = False
-    t_wall: float = 0.0   # seconds since the run's first post-init sim
+    #: Seconds since post-init optimization began.  Convention (shared by
+    #: MAOptimizer and every baseline): the clock starts when the first
+    #: post-init round begins — *before* any model training or proposal
+    #: work — so each record's t_wall includes the compute that produced
+    #: it, and runtime-fair comparisons (fom_vs_runtime) charge methods
+    #: for their training overhead.
+    t_wall: float = 0.0
 
 
 @dataclass

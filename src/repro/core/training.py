@@ -20,23 +20,29 @@ from repro.core.fom import FigureOfMerit
 from repro.core.networks import Actor, Critic
 from repro.core.population import EliteSet, TotalDesignSet
 from repro.core.pseudo import pseudo_sample_batch
+from repro.obs import NULL_TELEMETRY, Telemetry
 
 
 def train_critic(critic: Critic, total: TotalDesignSet, steps: int,
-                 batch_size: int, rng: np.random.Generator) -> float:
+                 batch_size: int, rng: np.random.Generator,
+                 telemetry: Telemetry | None = None) -> float:
     """Run ``steps`` critic updates on fresh pseudo-sample batches.
 
     Returns the mean loss over the last 10 steps (for diagnostics).
     """
     if steps < 1:
         raise ValueError("steps must be >= 1")
-    critic.fit_scaler(total.metrics)
-    losses = []
-    for _ in range(steps):
-        inputs, targets = pseudo_sample_batch(total, batch_size, rng)
-        losses.append(critic.train_step(inputs, targets))
+    obs = telemetry or NULL_TELEMETRY
+    with obs.span("critic-train", steps=steps, n_total=len(total.designs)):
+        critic.fit_scaler(total.metrics)
+        losses = []
+        for _ in range(steps):
+            inputs, targets = pseudo_sample_batch(total, batch_size, rng)
+            losses.append(critic.train_step(inputs, targets))
     tail = losses[-10:]
-    return float(np.mean(tail))
+    loss = float(np.mean(tail))
+    obs.observe("critic_loss", loss)
+    return loss
 
 
 def boundary_violation(x: np.ndarray, actions: np.ndarray,
@@ -60,7 +66,9 @@ def train_actor(actor: Actor, critic: Critic, fom: FigureOfMerit,
                 total: TotalDesignSet, elite: EliteSet, steps: int,
                 batch_size: int, lambda_viol: float,
                 rng: np.random.Generator,
-                train_on: str = "elite") -> float:
+                train_on: str = "elite",
+                telemetry: Telemetry | None = None,
+                actor_index: int | None = None) -> float:
     """Run ``steps`` actor updates (Eq. 5); returns the final loss value.
 
     ``train_on`` selects the state distribution:
@@ -75,49 +83,56 @@ def train_actor(actor: Actor, critic: Critic, fom: FigureOfMerit,
         raise ValueError("steps must be >= 1")
     if train_on not in ("elite", "total", "mixed"):
         raise ValueError("train_on must be 'elite', 'total' or 'mixed'")
-    lb, ub = elite.bounds()
-    if train_on == "elite":
-        designs = elite.designs()
-    elif train_on == "total":
-        designs = total.designs
+    obs = telemetry or NULL_TELEMETRY
+    with obs.span("actor-train", steps=steps, actor=actor_index):
+        lb, ub = elite.bounds()
+        if train_on == "elite":
+            designs = elite.designs()
+        elif train_on == "total":
+            designs = total.designs
+        else:
+            elite_designs = elite.designs()
+            reps = int(np.ceil(
+                len(total.designs) / max(len(elite_designs), 1)))
+            designs = np.concatenate(
+                [total.designs, np.tile(elite_designs, (reps, 1))])
+        n = len(designs)
+        loss_val = 0.0
+        for _ in range(steps):
+            idx = rng.integers(0, n, size=min(batch_size, n))
+            x = designs[idx]
+            nb = x.shape[0]
+            # Forward: actor -> action -> critic -> raw metrics -> FoM.
+            actions_raw = actor.net.forward(x)       # tanh output in [-1,1]
+            actions = actions_raw * actor.action_scale
+            critic_in = np.concatenate([x, actions], axis=1)
+            q_scaled = critic.net.forward(critic_in)
+            metrics = critic.scaler.inverse(q_scaled)
+            g = fom(metrics)
+            viol, dviol = boundary_violation(x, actions, lb, ub)
+            lam_viol = lambda_viol * viol
+            norms = np.sqrt((lam_viol**2).sum(axis=1))
+            loss_val = float(np.mean(g) + np.mean(norms))
+            # Backward: dL/d(metrics) -> dL/d(q_scaled) -> critic input grad.
+            dmetrics = fom.gradient(metrics) / nb
+            dq = dmetrics * critic.scaler.jacobian_from_raw(metrics)
+            critic.net.zero_grad()
+            din = critic.net.backward(dq)
+            dactions = din[:, actor.d:]
+            # Violation-norm: d||w|| / da_j = w_j * lambda * dviol_j / ||w||.
+            safe = np.where(norms > 1e-12, norms, 1.0)[:, None]
+            dnorm = np.where(norms[:, None] > 1e-12,
+                             lam_viol * lambda_viol * dviol / safe, 0.0) / nb
+            dactions = dactions + dnorm
+            actor.net.zero_grad()
+            actor.net.backward(dactions * actor.action_scale)
+            actor.opt.step()
+            # Discard critic gradients produced by the pass-through.
+            critic.net.zero_grad()
+    if actor_index is None:
+        obs.observe("actor_loss", loss_val)
     else:
-        elite_designs = elite.designs()
-        reps = int(np.ceil(len(total.designs) / max(len(elite_designs), 1)))
-        designs = np.concatenate(
-            [total.designs, np.tile(elite_designs, (reps, 1))])
-    n = len(designs)
-    loss_val = 0.0
-    for _ in range(steps):
-        idx = rng.integers(0, n, size=min(batch_size, n))
-        x = designs[idx]
-        nb = x.shape[0]
-        # Forward: actor -> action -> critic -> raw metrics -> FoM.
-        actions_raw = actor.net.forward(x)           # tanh output in [-1,1]
-        actions = actions_raw * actor.action_scale
-        critic_in = np.concatenate([x, actions], axis=1)
-        q_scaled = critic.net.forward(critic_in)
-        metrics = critic.scaler.inverse(q_scaled)
-        g = fom(metrics)
-        viol, dviol = boundary_violation(x, actions, lb, ub)
-        lam_viol = lambda_viol * viol
-        norms = np.sqrt((lam_viol**2).sum(axis=1))
-        loss_val = float(np.mean(g) + np.mean(norms))
-        # Backward: dL/d(metrics) -> dL/d(q_scaled) -> critic input grad.
-        dmetrics = fom.gradient(metrics) / nb
-        dq = dmetrics * critic.scaler.jacobian_from_raw(metrics)
-        critic.net.zero_grad()
-        din = critic.net.backward(dq)
-        dactions = din[:, actor.d:]
-        # Violation-norm term: d||w|| / da_j = w_j * lambda * dviol_j / ||w||.
-        safe = np.where(norms > 1e-12, norms, 1.0)[:, None]
-        dnorm = np.where(norms[:, None] > 1e-12,
-                         lam_viol * lambda_viol * dviol / safe, 0.0) / nb
-        dactions = dactions + dnorm
-        actor.net.zero_grad()
-        actor.net.backward(dactions * actor.action_scale)
-        actor.opt.step()
-        # Discard critic gradients produced by the pass-through.
-        critic.net.zero_grad()
+        obs.observe("actor_loss", loss_val, actor=actor_index)
     return loss_val
 
 
@@ -125,7 +140,8 @@ def propose_design(actor: Actor, critic: Critic, fom: FigureOfMerit,
                    elite: EliteSet,
                    exclude: list[np.ndarray] | None = None,
                    min_dist: float = 0.05,
-                   ucb_beta: float = 0.0) -> np.ndarray:
+                   ucb_beta: float = 0.0,
+                   telemetry: Telemetry | None = None) -> np.ndarray:
     """Alg. 1 lines 8-9: pick the elite state whose actor-proposed successor
     the critic predicts to be best, and return that successor (clipped to
     the unit cube) for simulation.
@@ -143,22 +159,24 @@ def propose_design(actor: Actor, critic: Critic, fom: FigureOfMerit,
     states = elite.designs()
     if len(states) == 0:
         raise ValueError("empty elite set")
-    actions = actor.act(states)
-    if ucb_beta > 0.0 and hasattr(critic, "members"):
-        per_member = np.array([
-            fom(member.predict(states, actions))
-            for member in critic.members
-        ])
-        g = per_member.mean(axis=0) - ucb_beta * per_member.std(axis=0)
-    else:
-        metrics = critic.predict(states, actions)
-        g = fom(metrics)
-    order = np.argsort(g)
-    successors = np.clip(states + actions, 0.0, 1.0)
-    if exclude:
-        taken = np.array(exclude)
-        for k in order:
-            cand = successors[k]
-            if np.min(np.linalg.norm(taken - cand, axis=1)) >= min_dist:
-                return cand
-    return successors[int(order[0])]
+    obs = telemetry or NULL_TELEMETRY
+    with obs.span("propose", n_states=len(states)):
+        actions = actor.act(states)
+        if ucb_beta > 0.0 and hasattr(critic, "members"):
+            per_member = np.array([
+                fom(member.predict(states, actions))
+                for member in critic.members
+            ])
+            g = per_member.mean(axis=0) - ucb_beta * per_member.std(axis=0)
+        else:
+            metrics = critic.predict(states, actions)
+            g = fom(metrics)
+        order = np.argsort(g)
+        successors = np.clip(states + actions, 0.0, 1.0)
+        if exclude:
+            taken = np.array(exclude)
+            for k in order:
+                cand = successors[k]
+                if np.min(np.linalg.norm(taken - cand, axis=1)) >= min_dist:
+                    return cand
+        return successors[int(order[0])]

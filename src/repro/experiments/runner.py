@@ -54,16 +54,22 @@ def make_initial_set(task: SizingTask, n_init: int,
 def run_method(method: str, task: SizingTask, n_sims: int,
                x_init: np.ndarray, f_init: np.ndarray,
                seed: int | None = None,
-               maopt_overrides: dict | None = None) -> OptimizationResult:
-    """Run one named method under the shared-initial-set protocol."""
+               maopt_overrides: dict | None = None,
+               telemetry=None) -> OptimizationResult:
+    """Run one named method under the shared-initial-set protocol.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) is threaded into the
+    optimizer; sharing one bundle across calls aggregates their traces,
+    metrics, and events (``run`` spans carry a ``method`` attribute).
+    """
     if method in _PRESETS:
         cfg = MAOptConfig.from_preset(_PRESETS[method], seed=seed,
                                       **(maopt_overrides or {}))
-        opt = MAOptimizer(task, cfg)
+        opt = MAOptimizer(task, cfg, telemetry=telemetry)
         return opt.run(n_sims=n_sims, x_init=x_init, f_init=f_init,
                        method_name=method)
     if method in _BASELINES:
-        opt = _BASELINES[method](task, seed=seed)
+        opt = _BASELINES[method](task, seed=seed, telemetry=telemetry)
         return opt.run(n_sims=n_sims, x_init=x_init, f_init=f_init)
     raise ValueError(f"unknown method {method!r}; options: {METHOD_NAMES}")
 
@@ -72,12 +78,14 @@ def run_comparison(task: SizingTask, methods: list[str] | tuple[str, ...],
                    n_runs: int, n_sims: int, n_init: int,
                    seed: int = 0,
                    maopt_overrides: dict | None = None,
-                   verbose: bool = False
+                   verbose: bool = False,
+                   telemetry=None
                    ) -> dict[str, list[OptimizationResult]]:
     """The full Table II/IV/VI experiment for one circuit.
 
     Returns method -> list of per-repeat results.  Repeat ``r`` uses the
-    same initial set for every method (seeded by ``seed + r``).
+    same initial set for every method (seeded by ``seed + r``).  A shared
+    ``telemetry`` bundle collects every method's spans/metrics/events.
     """
     results: dict[str, list[OptimizationResult]] = {m: [] for m in methods}
     for r in range(n_runs):
@@ -86,7 +94,8 @@ def run_comparison(task: SizingTask, methods: list[str] | tuple[str, ...],
         for method in methods:
             res = run_method(method, task, n_sims, x_init, f_init,
                              seed=run_seed * 1000 + 7,
-                             maopt_overrides=maopt_overrides)
+                             maopt_overrides=maopt_overrides,
+                             telemetry=telemetry)
             results[method].append(res)
             if verbose:
                 bf = res.best_feasible()

@@ -1,0 +1,35 @@
+"""``repro.obs`` — dependency-free telemetry for the optimizer stack.
+
+Four channels, bundled by :class:`Telemetry`:
+
+* **tracing** (:mod:`repro.obs.trace`): nested timed spans + JSONL export;
+* **metrics** (:mod:`repro.obs.metrics`): counters/gauges/histograms;
+* **run events** (:mod:`repro.obs.events`): one structured JSONL event per
+  evaluation/round, with stdlib-``logging`` mirroring;
+* **hooks** (:mod:`repro.obs.hooks`): observer callbacks fired by the
+  optimizers.
+
+:mod:`repro.obs.report` turns a trace into a per-phase wall-time
+breakdown table.  See ``docs/observability.md`` for the full reference.
+"""
+
+from repro.obs.events import RunEvent, RunLogger, configure_logging
+from repro.obs.hooks import BaseObserver, ObserverList, ObserverProtocol
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs.trace import NOOP_SPAN, Span, Tracer
+
+__all__ = [
+    "BaseObserver",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "NULL_TELEMETRY",
+    "ObserverList",
+    "ObserverProtocol",
+    "RunEvent",
+    "RunLogger",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "configure_logging",
+]

@@ -1,0 +1,63 @@
+"""The :class:`Telemetry` bundle threaded through the optimizer stack.
+
+One object groups the four observability channels — tracer, metrics
+registry, run-event logger, observers — so instrumented code takes a
+single optional ``telemetry`` argument.  Every channel is optional;
+:data:`NULL_TELEMETRY` (all channels off) is the shared default, and its
+helpers reduce to one ``None`` check per call site, so uninstrumented
+runs pay effectively nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.obs.events import RunLogger
+from repro.obs.hooks import ObserverList
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NOOP_SPAN, Tracer
+
+
+class Telemetry:
+    """Optional tracer + metrics + run logger + observers, as one handle."""
+
+    __slots__ = ("tracer", "metrics", "run_logger", "observers")
+
+    def __init__(self, tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 run_logger: RunLogger | None = None,
+                 observers: Iterable[Any] = ()) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+        self.run_logger = run_logger
+        self.observers = ObserverList(observers)
+
+    # -- tracing -------------------------------------------------------------
+    def span(self, name: str, **attrs: Any):
+        """A timed span on the attached tracer, or a shared no-op."""
+        if self.tracer is None:
+            return NOOP_SPAN
+        return self.tracer.span(name, **attrs)
+
+    # -- metrics -------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        if self.metrics is not None:
+            self.metrics.observe(name, value, **labels)
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        if self.metrics is not None:
+            self.metrics.set_gauge(name, value, **labels)
+
+    @property
+    def enabled(self) -> bool:
+        """True when any channel is attached."""
+        return (self.tracer is not None or self.metrics is not None
+                or self.run_logger is not None or bool(self.observers))
+
+
+#: Shared all-channels-off default.  Never mutate it.
+NULL_TELEMETRY = Telemetry()

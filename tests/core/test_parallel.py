@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.parallel import SimulationExecutor
 from repro.core.synthetic import ConstrainedSphere
+from repro.obs import MetricsRegistry, Telemetry, Tracer
 
 
 class TestSerial:
@@ -31,6 +32,36 @@ class TestSerial:
         ex.close()
 
 
+class TestTelemetry:
+    def test_batch_timing_recorded(self, rng):
+        task = ConstrainedSphere(d=4, seed=0)
+        ex = SimulationExecutor(task, n_workers=0)
+        us = task.space.sample(rng, 5)
+        ex.evaluate_batch(us, kind="actor")
+        ex.evaluate_batch(us[0], kind="ns")
+        assert len(ex.batch_timings) == 2
+        first, second = ex.batch_timings
+        assert first.n == 5 and first.kind == "actor" and not first.parallel
+        assert len(first.sim_s) == 5
+        assert all(dt >= 0 for dt in first.sim_s)
+        assert first.wall_s >= sum(first.sim_s) * 0.5  # same clock, sane scale
+        assert second.n == 1 and second.kind == "ns"
+
+    def test_metrics_and_spans(self, rng):
+        task = ConstrainedSphere(d=4, seed=0)
+        reg, tracer = MetricsRegistry(), Tracer()
+        ex = SimulationExecutor(task, n_workers=0,
+                                telemetry=Telemetry(tracer=tracer,
+                                                    metrics=reg))
+        ex.evaluate_batch(task.space.sample(rng, 4), kind="actor")
+        assert reg.counter_value("sims_total", kind="actor") == 4
+        assert reg.histogram_stats("sim_latency_s", kind="actor")["count"] == 4
+        spans = tracer.find("simulate")
+        assert len(spans) == 1
+        assert spans[0].attrs["n"] == 4
+        assert spans[0].attrs["kind"] == "actor"
+
+
 @pytest.mark.slow
 class TestParallel:
     def test_parallel_matches_serial(self, rng):
@@ -43,3 +74,37 @@ class TestParallel:
         finally:
             ex.close()
         np.testing.assert_allclose(parallel, serial)
+
+    def test_parallel_metrics_match_serial(self, rng):
+        task = ConstrainedSphere(d=4, seed=0)
+        us = task.space.sample(rng, 6)
+        reg_s = MetricsRegistry()
+        SimulationExecutor(task, n_workers=0,
+                           telemetry=Telemetry(metrics=reg_s)
+                           ).evaluate_batch(us, kind="actor")
+        reg_p = MetricsRegistry()
+        ex = SimulationExecutor(task, n_workers=2,
+                                telemetry=Telemetry(metrics=reg_p))
+        try:
+            ex.evaluate_batch(us, kind="actor")
+        finally:
+            ex.close()
+        # identical counters and observation counts on both paths
+        assert (reg_p.counter_value("sims_total", kind="actor")
+                == reg_s.counter_value("sims_total", kind="actor") == 6)
+        assert (reg_p.histogram_stats("sim_latency_s", kind="actor")["count"]
+                == reg_s.histogram_stats("sim_latency_s",
+                                         kind="actor")["count"] == 6)
+        timing = ex.batch_timings[-1]
+        assert timing.parallel and timing.n == 6 and len(timing.sim_s) == 6
+
+    def test_pool_close_idempotent(self, rng):
+        task = ConstrainedSphere(d=4, seed=0)
+        ex = SimulationExecutor(task, n_workers=2)
+        ex.evaluate_batch(task.space.sample(rng, 4))
+        ex.close()
+        ex.close()
+        # the pool is lazily rebuilt after close
+        out = ex.evaluate_batch(task.space.sample(rng, 3))
+        assert out.shape == (3, task.m + 1)
+        ex.close()

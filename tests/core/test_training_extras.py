@@ -101,9 +101,9 @@ class TestTrainingEqualization:
 
         real = mod.train_critic
 
-        def spy(critic, total, steps, batch_size, rng):
+        def spy(critic, total, steps, batch_size, rng, **kwargs):
             seen["steps"] = steps
-            return real(critic, total, steps, batch_size, rng)
+            return real(critic, total, steps, batch_size, rng, **kwargs)
 
         monkeypatch.setattr(mod, "train_critic", spy)
         opt.optimization_round()
@@ -121,9 +121,9 @@ class TestTrainingEqualization:
 
         real = mod.train_critic
 
-        def spy(critic, total, steps, batch_size, rng):
+        def spy(critic, total, steps, batch_size, rng, **kwargs):
             seen["steps"] = steps
-            return real(critic, total, steps, batch_size, rng)
+            return real(critic, total, steps, batch_size, rng, **kwargs)
 
         monkeypatch.setattr(mod, "train_critic", spy)
         opt.optimization_round()

@@ -1,0 +1,107 @@
+"""Unit + integration tests for the run-event stream."""
+
+import json
+import logging
+
+from repro.core.config import MAOptConfig
+from repro.core.ma_opt import MAOptimizer
+from repro.core.synthetic import ConstrainedSphere
+from repro.obs import RunLogger, Telemetry, configure_logging
+
+FAST = dict(critic_steps=10, actor_steps=5, batch_size=8, n_elite=5,
+            hidden=(8, 8))
+
+
+class TestRunLogger:
+    def test_emit_and_filter(self):
+        log = RunLogger()
+        log.emit("evaluation", fom=1.0)
+        log.emit("round_end", round=1)
+        log.emit("evaluation", fom=0.5)
+        assert len(log) == 3
+        assert [e.payload["fom"] for e in log.events("evaluation")] == [1.0, 0.5]
+        assert log.events("missing") == []
+
+    def test_kind_key_allowed_in_payload(self):
+        log = RunLogger()
+        ev = log.emit("evaluation", kind="init")
+        assert ev.payload["kind"] == "init"
+        assert ev.kind == "evaluation"
+
+    def test_jsonl_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with RunLogger(path=str(path)) as log:
+            log.emit("run_start", method="X")
+            log.emit("evaluation", fom=1.25, feasible=True)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["event"] for r in rows] == ["run_start", "evaluation"]
+        assert rows[1]["fom"] == 1.25
+        assert rows[0]["t"] >= 0
+
+    def test_close_idempotent(self, tmp_path):
+        log = RunLogger(path=str(tmp_path / "e.jsonl"))
+        log.emit("x")
+        log.close()
+        log.close()
+        assert len(log) == 1  # in-memory events survive close
+
+    def test_logging_mirror(self, caplog):
+        log = RunLogger(logger="repro.test", level=logging.INFO)
+        with caplog.at_level(logging.INFO, logger="repro.test"):
+            log.emit("round_end", round=3, best_fom=0.5)
+        assert "round_end" in caplog.text
+        assert "best_fom=0.5" in caplog.text
+
+    def test_configure_logging_idempotent(self):
+        logger = configure_logging("info")
+        n = len(logger.handlers)
+        assert configure_logging("info") is logger
+        assert len(logger.handlers) == n
+
+
+class TestOptimizerEvents:
+    def _run(self, n_sims=6, n_init=8):
+        log = RunLogger()
+        task = ConstrainedSphere(d=4, seed=0)
+        opt = MAOptimizer(task, MAOptConfig(seed=0, **FAST),
+                          telemetry=Telemetry(run_logger=log))
+        opt.run(n_sims=n_sims, n_init=n_init)
+        return log
+
+    def test_one_event_per_simulation(self):
+        log = self._run(n_sims=6, n_init=8)
+        evals = log.events("evaluation")
+        # every simulation (init + post-init) has an event
+        assert len(evals) == 8 + 6
+        assert sum(e.payload["kind"] != "init" for e in evals) == 6
+
+    def test_round_and_run_envelope(self):
+        log = self._run()
+        kinds = [e.kind for e in log.events()]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_end"
+        assert len(log.events("round_start")) == len(log.events("round_end"))
+        end = log.events("run_end")[0].payload
+        assert end["n_sims"] == 6
+        assert "best_fom" in end and "wall_time_s" in end
+
+    def test_diagnostics_is_view_over_round_end(self):
+        task = ConstrainedSphere(d=4, seed=0)
+        log = RunLogger()
+        opt = MAOptimizer(task, MAOptConfig(seed=0, **FAST),
+                          telemetry=Telemetry(run_logger=log))
+        opt.initialize(n_init=8)
+        opt.step()
+        assert opt.diagnostics == [dict(e.payload)
+                                   for e in log.events("round_end")]
+
+    def test_events_jsonl_from_full_run(self, tmp_path):
+        path = tmp_path / "run_events.jsonl"
+        task = ConstrainedSphere(d=4, seed=0)
+        opt = MAOptimizer(task, MAOptConfig(seed=0, **FAST),
+                          telemetry=Telemetry(
+                              run_logger=RunLogger(path=str(path))))
+        res = opt.run(n_sims=4, n_init=6)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        n_evals = sum(r["event"] == "evaluation" for r in rows)
+        assert n_evals >= res.n_sims  # >= 1 JSONL event per simulation

@@ -1,0 +1,101 @@
+"""Observer callback tests across MAOptimizer and the baselines."""
+
+from repro.baselines import RandomSearch
+from repro.core.config import MAOptConfig
+from repro.core.ma_opt import MAOptimizer
+from repro.core.result import OptimizationResult
+from repro.core.synthetic import ConstrainedSphere
+from repro.obs import BaseObserver, ObserverList, ObserverProtocol, Telemetry
+
+FAST = dict(critic_steps=10, actor_steps=5, batch_size=8, n_elite=5,
+            hidden=(8, 8))
+
+
+class Recorder(BaseObserver):
+    def __init__(self):
+        self.calls = []
+
+    def on_round_start(self, optimizer, round_index, kind):
+        self.calls.append(("round_start", round_index, kind))
+
+    def on_evaluation(self, optimizer, record):
+        self.calls.append(("evaluation", record.kind, record.fom))
+
+    def on_round_end(self, optimizer, round_index, info):
+        self.calls.append(("round_end", round_index, info))
+
+    def on_run_end(self, optimizer, result):
+        self.calls.append(("run_end", result))
+
+    def of(self, name):
+        return [c for c in self.calls if c[0] == name]
+
+
+class TestObserverList:
+    def test_partial_observer_dispatch(self):
+        hits = []
+
+        class OnlyEval:
+            def on_evaluation(self, opt, rec):
+                hits.append(rec)
+
+        olist = ObserverList([OnlyEval()])
+        olist.emit("on_evaluation", None, "rec")
+        olist.emit("on_round_end", None, 1, {})  # method absent: skipped
+        assert hits == ["rec"]
+
+    def test_extended_is_new_list(self):
+        a, b = BaseObserver(), BaseObserver()
+        olist = ObserverList([a])
+        bigger = olist.extended([b])
+        assert len(olist) == 1 and len(bigger) == 2
+        assert olist.extended([]) is olist
+
+    def test_protocol_runtime_check(self):
+        assert isinstance(Recorder(), ObserverProtocol)
+
+
+class TestMAOptimizerHooks:
+    def test_callbacks_fire(self):
+        rec = Recorder()
+        task = ConstrainedSphere(d=4, seed=0)
+        opt = MAOptimizer(task, MAOptConfig(seed=0, **FAST), observers=[rec])
+        result = opt.run(n_sims=6, n_init=8)
+        assert len(rec.of("evaluation")) == 6
+        assert len(rec.of("round_start")) == len(rec.of("round_end"))
+        assert len(rec.of("round_start")) >= 1
+        (_, res), = rec.of("run_end")
+        assert isinstance(res, OptimizationResult)
+        assert res is result
+
+    def test_round_end_info_matches_diagnostics(self):
+        rec = Recorder()
+        task = ConstrainedSphere(d=4, seed=0)
+        opt = MAOptimizer(task, MAOptConfig(seed=0, **FAST), observers=[rec])
+        opt.initialize(n_init=8)
+        opt.step()
+        (_, idx, info), = rec.of("round_end")
+        assert idx == 1
+        assert info == opt.diagnostics[0]
+
+    def test_observers_via_telemetry_bundle(self):
+        rec = Recorder()
+        task = ConstrainedSphere(d=4, seed=0)
+        opt = MAOptimizer(task, MAOptConfig(seed=0, **FAST),
+                          telemetry=Telemetry(observers=[rec]))
+        opt.run(n_sims=4, n_init=6)
+        assert rec.of("evaluation")
+
+
+class TestBaselineHooks:
+    def test_callbacks_fire(self):
+        rec = Recorder()
+        task = ConstrainedSphere(d=4, seed=0)
+        opt = RandomSearch(task, seed=0, observers=[rec])
+        result = opt.run(n_sims=5, n_init=6)
+        assert len(rec.of("evaluation")) == 5
+        # baselines: one round per simulation
+        assert len(rec.of("round_start")) == 5
+        assert len(rec.of("round_end")) == 5
+        (_, res), = rec.of("run_end")
+        assert res is result

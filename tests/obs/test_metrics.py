@@ -1,0 +1,100 @@
+"""Unit tests for the metrics registry."""
+
+import csv
+import json
+
+from repro.obs import MetricsRegistry, Telemetry
+
+
+class TestCounters:
+    def test_inc_and_labels(self):
+        reg = MetricsRegistry()
+        reg.inc("sims_total", kind="actor")
+        reg.inc("sims_total", 3, kind="actor")
+        reg.inc("sims_total", kind="ns")
+        assert reg.counter_value("sims_total", kind="actor") == 4
+        assert reg.counter_value("sims_total", kind="ns") == 1
+        assert reg.counter_value("sims_total", kind="init") == 0
+
+    def test_label_order_canonical(self):
+        reg = MetricsRegistry()
+        reg.inc("m", a=1, b=2)
+        reg.inc("m", b=2, a=1)
+        assert reg.counter_value("m", a=1, b=2) == 2
+        assert "m{a=1,b=2}" in reg.snapshot()["counters"]
+
+
+class TestGauges:
+    def test_set_overwrites(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("best_fom", 2.0)
+        reg.set_gauge("best_fom", 1.5)
+        assert reg.gauge_value("best_fom") == 1.5
+        assert reg.gauge_value("missing") is None
+
+
+class TestHistograms:
+    def test_stats(self):
+        reg = MetricsRegistry()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            reg.observe("sim_latency_s", v)
+        stats = reg.histogram_stats("sim_latency_s")
+        assert stats["count"] == 4
+        assert stats["sum"] == 10.0
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+        assert stats["mean"] == 2.5
+        assert 2.0 <= stats["p50"] <= 3.0
+
+    def test_empty_series(self):
+        reg = MetricsRegistry()
+        assert reg.histogram_stats("nope") == {"count": 0}
+
+
+class TestExport:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.inc("sims_total", 5, kind="actor")
+        reg.set_gauge("elite_box_width", 0.3)
+        reg.observe("sim_latency_s", 0.01)
+        reg.observe("sim_latency_s", 0.02)
+        return reg
+
+    def test_snapshot_shape(self):
+        snap = self._populated().snapshot()
+        assert snap["counters"] == {"sims_total{kind=actor}": 5}
+        assert snap["gauges"] == {"elite_box_width": 0.3}
+        assert snap["histograms"]["sim_latency_s"]["count"] == 2
+
+    def test_json_export(self, tmp_path):
+        path = tmp_path / "m.json"
+        self._populated().export(str(path))
+        data = json.loads(path.read_text())
+        assert data["counters"]["sims_total{kind=actor}"] == 5
+
+    def test_csv_export(self, tmp_path):
+        path = tmp_path / "m.csv"
+        self._populated().export(str(path))
+        rows = list(csv.DictReader(path.read_text().splitlines()))
+        by_metric = {r["metric"]: r for r in rows}
+        assert by_metric["sims_total{kind=actor}"]["type"] == "counter"
+        assert float(by_metric["sims_total{kind=actor}"]["value"]) == 5
+        assert int(by_metric["sim_latency_s"]["count"]) == 2
+
+
+class TestTelemetryHelpers:
+    def test_null_helpers_noop(self):
+        tel = Telemetry()
+        tel.inc("a")
+        tel.observe("b", 1.0)
+        tel.set_gauge("c", 2.0)  # must not raise
+
+    def test_bound_helpers_record(self):
+        reg = MetricsRegistry()
+        tel = Telemetry(metrics=reg)
+        tel.inc("a", 2, kind="x")
+        tel.observe("b", 1.0)
+        tel.set_gauge("c", 2.0)
+        assert reg.counter_value("a", kind="x") == 2
+        assert reg.histogram_stats("b")["count"] == 1
+        assert reg.gauge_value("c") == 2.0

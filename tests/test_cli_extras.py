@@ -27,6 +27,59 @@ class TestReportCommand:
         assert "BODY" in out_file.read_text()
 
 
+class TestObservabilityFlags:
+    def test_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["optimize", "sphere", "--log-level", "debug",
+             "--trace-out", "t.jsonl", "--metrics-out", "m.csv",
+             "--events-out", "e.jsonl"])
+        assert args.log_level == "debug"
+        assert args.trace_out == "t.jsonl"
+        assert args.metrics_out == "m.csv"
+        assert args.events_out == "e.jsonl"
+
+    def test_optimize_trace_out(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        rc = main(["optimize", "sphere", "--sims", "4", "--init", "6",
+                   "--trace-out", str(trace)])
+        assert rc == 0
+        rows = [json.loads(line) for line in trace.read_text().splitlines()]
+        names = {r["name"] for r in rows}
+        assert {"run", "critic-train", "actor-train", "simulate"} <= names
+        out = capsys.readouterr().out
+        assert "wall-time breakdown" in out
+        assert "100.0" in out
+
+    def test_optimize_metrics_and_events_out(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        events = tmp_path / "events.jsonl"
+        rc = main(["optimize", "sphere", "--sims", "4", "--init", "6",
+                   "--metrics-out", str(metrics),
+                   "--events-out", str(events)])
+        assert rc == 0
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]["sims_total{kind=actor}"] >= 1
+        rows = [json.loads(line) for line in events.read_text().splitlines()]
+        assert sum(r["event"] == "evaluation" for r in rows) >= 4
+
+    def test_compare_trace_out(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        rc = main(["compare", "sphere", "--methods", "Random",
+                   "--runs", "1", "--sims", "3", "--init", "6",
+                   "--quiet", "--trace-out", str(trace)])
+        assert rc == 0
+        rows = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert {r["name"] for r in rows} >= {"run", "simulate"}
+
+
 class TestSaveFlag:
     def test_optimize_save_roundtrip(self, tmp_path, capsys):
         from repro.core.serialize import load_result

@@ -31,6 +31,8 @@ _PUBLIC = {
     "TwoStageOTA": ("repro.circuits", "TwoStageOTA"),
     "ThreeStageTIA": ("repro.circuits", "ThreeStageTIA"),
     "LDORegulator": ("repro.circuits", "LDORegulator"),
+    "ResilienceConfig": ("repro.core.config", "ResilienceConfig"),
+    "FaultyTask": ("repro.resilience", "FaultyTask"),
 }
 
 __all__ = [*_PUBLIC, "__version__"]

@@ -28,7 +28,7 @@ class DifferentialEvolution(BaselineOptimizer):
         self.pop_size = pop_size
         self.f_weight = f_weight
         self.crossover = crossover
-        self._initialized = False
+        self._state_ready = False
         self._cursor = 0
         self._trial: np.ndarray | None = None
 
@@ -45,10 +45,10 @@ class DifferentialEvolution(BaselineOptimizer):
             self.pop = np.concatenate([hist_x[order], extra])
             self.pop_y = np.concatenate([hist_y[order],
                                          np.full(extra.shape[0], np.inf)])
-        self._initialized = True
+        self._state_ready = True
 
     def _propose(self) -> np.ndarray:
-        if not self._initialized:
+        if not self._state_ready:
             self._lazy_init()
         i = self._cursor
         choices = [j for j in range(self.pop_size) if j != i]

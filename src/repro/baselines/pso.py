@@ -28,7 +28,7 @@ class ParticleSwarm(BaselineOptimizer):
         self.inertia = inertia
         self.c1 = c_cognitive
         self.c2 = c_social
-        self._initialized = False
+        self._state_ready = False
         self._cursor = 0
 
     def _lazy_init(self) -> None:
@@ -50,10 +50,10 @@ class ParticleSwarm(BaselineOptimizer):
         g = int(np.argmin(self.pbest_y))
         self.gbest = self.pbest[g].copy()
         self.gbest_y = float(self.pbest_y[g])
-        self._initialized = True
+        self._state_ready = True
 
     def _propose(self) -> np.ndarray:
-        if not self._initialized:
+        if not self._state_ready:
             self._lazy_init()
         i = self._cursor
         r1 = self.rng.uniform(size=self.task.d)

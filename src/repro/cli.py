@@ -117,16 +117,68 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
                    help="write one JSONL run event per evaluation/round")
 
 
+_MA_METHODS = ("DNN-Opt", "MA-Opt1", "MA-Opt2", "MA-Opt")
+
+
+def _build_resilience(args: argparse.Namespace):
+    """ResilienceConfig from the --max-retries/--sim-timeout/--checkpoint*
+    flags; None when none of them is set (legacy fail-fast behaviour)."""
+    if not (args.max_retries or args.sim_timeout is not None
+            or args.checkpoint or args.checkpoint_every):
+        return None
+    from repro.core.config import ResilienceConfig
+
+    return ResilienceConfig(
+        max_retries=args.max_retries,
+        sim_timeout_s=args.sim_timeout,
+        checkpoint_every=args.checkpoint_every or 0,
+        checkpoint_path=args.checkpoint,
+    )
+
+
+def _wrap_faults(task, args: argparse.Namespace):
+    """Wrap the task in a seeded FaultyTask when --inject-faults is set."""
+    if not args.inject_faults:
+        return task
+    from repro.resilience import FaultyTask
+
+    rate = args.inject_faults
+    if not 0.0 < rate <= 1.0:
+        raise SystemExit("repro: error: --inject-faults must be in (0, 1]")
+    return FaultyTask(task, error_rate=rate / 2, nan_rate=rate / 2,
+                      seed=args.seed)
+
+
 def cmd_optimize(args: argparse.Namespace) -> int:
     from repro.experiments import make_initial_set, run_method
 
-    task = _make_task(args.task, args.fidelity, args.corner)
-    print(f"{args.method} on {task.name!r}: "
-          f"{args.init} init + {args.sims} sims (seed {args.seed})")
+    task = _wrap_faults(_make_task(args.task, args.fidelity, args.corner),
+                        args)
+    resilience = _build_resilience(args)
     telemetry = _build_telemetry(args)
-    x, f = make_initial_set(task, args.init, seed=args.seed)
-    res = run_method(args.method, task, args.sims, x, f, seed=args.seed,
-                     maopt_overrides=_MAOPT_TUNED, telemetry=telemetry)
+    overrides = dict(_MAOPT_TUNED)
+    if resilience is not None:
+        overrides["resilience"] = resilience
+    if args.resume:
+        if args.method not in _MA_METHODS:
+            raise SystemExit(
+                f"repro: error: --resume supports the MA-Opt family "
+                f"({', '.join(_MA_METHODS)}), not {args.method!r}")
+        from repro.core.ma_opt import MAOptimizer
+
+        opt = MAOptimizer.restore(args.resume, task, telemetry=telemetry)
+        print(f"{args.method} on {task.name!r}: resumed from {args.resume} "
+              f"at {len(opt.records)} sims, running to {args.sims}")
+        res = opt.run(n_sims=args.sims, method_name=args.method,
+                      checkpoint_path=args.checkpoint,
+                      checkpoint_every=args.checkpoint_every)
+    else:
+        print(f"{args.method} on {task.name!r}: "
+              f"{args.init} init + {args.sims} sims (seed {args.seed})")
+        x, f = make_initial_set(task, args.init, seed=args.seed,
+                                telemetry=telemetry, resilience=resilience)
+        res = run_method(args.method, task, args.sims, x, f, seed=args.seed,
+                         maopt_overrides=overrides, telemetry=telemetry)
     _finish_telemetry(args, telemetry)
     trace = res.best_fom_trace()
     print(f"best FoM: {trace[0]:.4f} -> {trace[-1]:.4f}; "
@@ -157,7 +209,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
                              n_sims=args.sims, n_init=args.init,
                              seed=args.seed, verbose=not args.quiet,
                              maopt_overrides=_MAOPT_TUNED,
-                             telemetry=telemetry)
+                             telemetry=telemetry,
+                             checkpoint_dir=args.checkpoint_dir)
     _finish_telemetry(args, telemetry)
     print()
     print(comparison_table(results, task))
@@ -215,6 +268,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--init", type=int, default=40)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--save", help="archive the run to this .npz file")
+    p.add_argument("--max-retries", type=int, default=0, metavar="N",
+                   help="retry each failed simulation up to N times "
+                        "before quarantining the design")
+    p.add_argument("--sim-timeout", type=float, default=None, metavar="S",
+                   help="per-simulation watchdog timeout in seconds "
+                        "(pool path only)")
+    p.add_argument("--inject-faults", type=float, default=0.0, metavar="P",
+                   help="fault-injection drill: wrap the task so each "
+                        "attempt fails with probability P (half "
+                        "exceptions, half NaN metrics)")
+    p.add_argument("--checkpoint", metavar="PATH", default=None,
+                   help="write optimizer checkpoints to this .npz path "
+                        "(MA-Opt family)")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   metavar="ROUNDS",
+                   help="checkpoint every ROUNDS rounds (with --checkpoint; "
+                        "a final checkpoint is always written)")
+    p.add_argument("--resume", metavar="PATH", default=None,
+                   help="resume a killed run from a checkpoint written by "
+                        "--checkpoint (MA-Opt family)")
     _add_obs_flags(p)
     p.set_defaults(func=cmd_optimize)
 
@@ -226,6 +299,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--init", type=int, default=30)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--quiet", action="store_true")
+    p.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                   help="archive each completed (method, run) here and "
+                        "skip already-archived cells on re-invocation")
     _add_obs_flags(p)
     p.set_defaults(func=cmd_compare)
 

@@ -16,7 +16,7 @@ MA-Opt     3       shared      yes
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 
 class VariantPreset(enum.Enum):
@@ -26,6 +26,50 @@ class VariantPreset(enum.Enum):
     MA_OPT_1 = "ma-opt1"
     MA_OPT_2 = "ma-opt2"
     MA_OPT = "ma-opt"
+
+
+@dataclass
+class ResilienceConfig:
+    """Failure policy + checkpoint cadence for long optimization runs.
+
+    Consumed by :class:`~repro.core.parallel.SimulationExecutor` (retry /
+    timeout / quarantine) and :class:`~repro.core.ma_opt.MAOptimizer`
+    (checkpoint cadence); see ``docs/resilience.md`` for the full
+    semantics.  The default instance retries nothing but still quarantines
+    failed and non-finite simulations instead of aborting the run.
+    """
+
+    # retry policy (per simulation)
+    max_retries: int = 0
+    backoff_base_s: float = 0.0   # delay before retry k is base * factor**k
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5   # deterministic jitter, fraction of delay
+
+    # pool-path watchdog: per-simulation-attempt seconds.  A timed-out (or
+    # crashed) worker costs one attempt; the pool is rebuilt and only the
+    # unaccounted designs are re-dispatched.  ``None`` disables the
+    # watchdog (and with it hang/crash recovery).
+    sim_timeout_s: float | None = None
+
+    # graceful degradation
+    quarantine_failures: bool = True   # False -> re-raise after retries
+    quarantine_nonfinite: bool = True  # NaN/Inf metrics count as failures
+
+    # checkpoint cadence (consumed by the optimizers' run() loops)
+    checkpoint_every: int = 0          # rounds between snapshots; 0 = off
+    checkpoint_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_jitter < 0:
+            raise ValueError("backoff parameters must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.sim_timeout_s is not None and self.sim_timeout_s <= 0:
+            raise ValueError("sim_timeout_s must be positive (or None)")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
 
 
 @dataclass
@@ -89,6 +133,10 @@ class MAOptConfig:
     parallel: bool = False     # multiprocessing over actors (Section II-B)
     seed: int | None = None
 
+    # failure policy + checkpoint cadence; None keeps the legacy behavior
+    # (no retries, no quarantine layer, no checkpoints).
+    resilience: ResilienceConfig | None = None
+
     extras: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -116,6 +164,24 @@ class MAOptConfig:
         if self.ucb_beta > 0 and self.n_critics < 2:
             raise ValueError("ucb_beta requires a critic ensemble "
                              "(n_critics >= 2)")
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict (checkpoint headers); inverse of :meth:`from_dict`.
+
+        ``extras`` must hold JSON-serializable values for the round trip.
+        """
+        d = asdict(self)
+        d["hidden"] = list(self.hidden)
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MAOptConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        d = dict(data)
+        d["hidden"] = tuple(d.get("hidden", (100, 100)))
+        if d.get("resilience") is not None:
+            d["resilience"] = ResilienceConfig(**d["resilience"])
+        return cls(**d)
 
     @classmethod
     def from_preset(cls, preset: VariantPreset | str, **overrides) -> "MAOptConfig":

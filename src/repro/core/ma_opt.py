@@ -26,6 +26,7 @@ list is now a read-only view over the ``round_end`` events.
 
 from __future__ import annotations
 
+import pathlib
 import time
 from typing import Any, Iterable
 
@@ -97,13 +98,18 @@ class MAOptimizer:
             ]
         self._executor = SimulationExecutor(
             task, n_workers=self.config.n_actors if self.config.parallel else 0,
-            telemetry=self.obs,
+            telemetry=self.obs, resilience=self.config.resilience,
         )
         self._round = 0
         self._records: list[EvaluationRecord] = []
         self._init_best_fom = np.inf
         self._initialized = False
         self._t0: float | None = None
+
+    @property
+    def records(self) -> list[EvaluationRecord]:
+        """Evaluation records accumulated so far (copy; one per sim)."""
+        return list(self._records)
 
     @property
     def diagnostics(self) -> list[dict]:
@@ -277,18 +283,40 @@ class MAOptimizer:
     def run(self, n_sims: int = 200, n_init: int = 100,
             x_init: np.ndarray | None = None,
             f_init: np.ndarray | None = None,
-            method_name: str | None = None) -> OptimizationResult:
-        """Alg. 3: run until ``n_sims`` post-init simulations are spent."""
+            method_name: str | None = None,
+            checkpoint_path: str | None = None,
+            checkpoint_every: int | None = None) -> OptimizationResult:
+        """Alg. 3: run until ``n_sims`` post-init simulations are spent.
+
+        When a checkpoint path is configured (either here or on
+        ``config.resilience``) the run snapshots its full state every
+        ``checkpoint_every`` rounds plus once at the end, so a killed run
+        resumes bit-exactly via :meth:`restore`.  A restored optimizer
+        continues toward ``n_sims`` from the records it already holds.
+        """
+        res_cfg = self.config.resilience
+        ckpt_path = checkpoint_path or (
+            res_cfg.checkpoint_path if res_cfg is not None else None)
+        if checkpoint_every is not None:
+            ckpt_every = checkpoint_every
+        else:
+            ckpt_every = res_cfg.checkpoint_every if res_cfg is not None else 0
         start = time.perf_counter()
         name = method_name or self._default_name()
         self.run_log.emit("run_start", method=name, task=self.task.name,
                           n_sims=n_sims)
         with self.obs.span("run", method=name, task=self.task.name):
-            if not self._initialized:
-                self.initialize(n_init=n_init, x_init=x_init, f_init=f_init)
-            while len(self._records) < n_sims:
-                self.step(budget=n_sims - len(self._records))
-            self._executor.close()
+            with self._executor:
+                if not self._initialized:
+                    self.initialize(n_init=n_init, x_init=x_init,
+                                    f_init=f_init)
+                while len(self._records) < n_sims:
+                    self.step(budget=n_sims - len(self._records))
+                    if (ckpt_path and ckpt_every
+                            and self._round % ckpt_every == 0):
+                        self.save_checkpoint(ckpt_path)
+            if ckpt_path:
+                self.save_checkpoint(ckpt_path)
         result = OptimizationResult(
             task_name=self.task.name,
             method=name,
@@ -303,6 +331,120 @@ class MAOptimizer:
                           wall_time_s=result.wall_time_s)
         self._observers.emit("on_run_end", self, result)
         return result
+
+    # -- checkpoint / resume -------------------------------------------------
+    def save_checkpoint(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Atomically snapshot the full optimizer state to ``path``.
+
+        The snapshot is bit-exact: dataset, records, actor/critic weights,
+        Adam moments, RNG state, round counter, and the wall-clock offset.
+        See ``docs/resilience.md`` for the format.
+        """
+        from repro.resilience.checkpoint import save_checkpoint
+        from repro.resilience.state import (capture_actor, capture_critic,
+                                            rng_state)
+
+        recs = self._records
+        header = {
+            "kind": "maopt",
+            "task": self.task.name,
+            "d": self.task.d,
+            "m": self.task.m,
+            "method": self._default_name(),
+            "config": self.config.to_dict(),
+            "round": self._round,
+            "initialized": self._initialized,
+            "init_best_fom": self._init_best_fom,
+            "rng_state": rng_state(self.rng),
+            "t_offset": (None if self._t0 is None
+                         else time.perf_counter() - self._t0),
+        }
+        arrays: dict[str, np.ndarray] = {
+            "total/x": self.total.designs,
+            "total/f": self.total.metrics,
+            "total/fom": self.total.foms,
+            "total/owner": np.array(
+                [-1 if o is None else o for o in self.total.owners],
+                dtype=int),
+            "records/x": np.array([r.x for r in recs])
+            if recs else np.empty((0, self.task.d)),
+            "records/metrics": np.array([r.metrics for r in recs])
+            if recs else np.empty((0, self.task.m + 1)),
+            "records/fom": np.array([r.fom for r in recs]),
+            "records/kind": np.array([r.kind for r in recs], dtype=np.str_)
+            if recs else np.empty(0, dtype="U1"),
+            "records/owner": np.array(
+                [-1 if r.owner is None else r.owner for r in recs],
+                dtype=int),
+            "records/feasible": np.array([r.feasible for r in recs],
+                                         dtype=bool),
+            "records/t_wall": np.array([r.t_wall for r in recs]),
+        }
+        arrays.update(capture_critic("critic", self.critic))
+        for i, actor in enumerate(self.actors):
+            arrays.update(capture_actor(f"actor{i}", actor))
+        final = save_checkpoint(path, header, arrays)
+        self.run_log.emit("checkpoint_saved", path=str(final),
+                          round=self._round, n_records=len(recs))
+        self.obs.inc("checkpoints_total")
+        self._observers.emit("on_checkpoint", self, final)
+        return final
+
+    @classmethod
+    def restore(cls, path: str | pathlib.Path, task: SizingTask,
+                telemetry: Telemetry | None = None,
+                observers: Iterable[Any] = ()) -> "MAOptimizer":
+        """Rebuild an optimizer from a :meth:`save_checkpoint` snapshot.
+
+        ``task`` must be the same task the checkpoint was taken on (name
+        and dimensions are verified); telemetry/observers are rewired
+        fresh — the event stream is a side channel, not part of the
+        checkpointed state.  Continuing with ``run(n_sims=...)`` replays
+        the exact record stream an uninterrupted run would have produced.
+        """
+        from repro.resilience.checkpoint import load_checkpoint
+        from repro.resilience.state import (restore_actor, restore_critic,
+                                            set_rng_state)
+
+        header, arrays = load_checkpoint(path)
+        if header.get("kind") != "maopt":
+            raise ValueError(f"{path} is not an MAOptimizer checkpoint")
+        if (header["task"] != task.name or header["d"] != task.d
+                or header["m"] != task.m):
+            raise ValueError(
+                f"checkpoint was taken on task {header['task']!r} "
+                f"(d={header['d']}, m={header['m']}); got {task.name!r} "
+                f"(d={task.d}, m={task.m})")
+        config = MAOptConfig.from_dict(header["config"])
+        opt = cls(task, config, telemetry=telemetry, observers=observers)
+        for x, f, g, o in zip(arrays["total/x"], arrays["total/f"],
+                              arrays["total/fom"], arrays["total/owner"]):
+            opt.total.add(x, f, float(g), owner=None if o < 0 else int(o))
+        for i in range(len(arrays["records/fom"])):
+            o = int(arrays["records/owner"][i])
+            opt._records.append(EvaluationRecord(
+                index=i,
+                x=np.array(arrays["records/x"][i]),
+                metrics=np.array(arrays["records/metrics"][i]),
+                fom=float(arrays["records/fom"][i]),
+                kind=str(arrays["records/kind"][i]),
+                owner=None if o < 0 else o,
+                feasible=bool(arrays["records/feasible"][i]),
+                t_wall=float(arrays["records/t_wall"][i]),
+            ))
+        restore_critic("critic", opt.critic, arrays)
+        for i, actor in enumerate(opt.actors):
+            restore_actor(f"actor{i}", actor, arrays)
+        set_rng_state(opt.rng, header["rng_state"])
+        opt._round = int(header["round"])
+        opt._initialized = bool(header["initialized"])
+        opt._init_best_fom = float(header["init_best_fom"])
+        t_offset = header.get("t_offset")
+        opt._t0 = (None if t_offset is None
+                   else time.perf_counter() - float(t_offset))
+        opt.run_log.emit("checkpoint_restored", path=str(path),
+                         round=opt._round, n_records=len(opt._records))
+        return opt
 
     def _default_name(self) -> str:
         cfg = self.config

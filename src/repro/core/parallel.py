@@ -13,29 +13,58 @@ pickling overhead are excluded — and the timings feed the
 ``sim_latency_s`` histogram, the ``sims_total{kind=...}`` counter, and the
 executor's :attr:`~SimulationExecutor.batch_timings` log.
 
+**Failure policy** (:mod:`repro.resilience.policy`): pass a
+:class:`~repro.core.config.ResilienceConfig` and every simulation runs
+under the retry/backoff/quarantine loop — identically in the caller (serial
+path) and inside each worker (pool path), so retry accounting matches
+bit-for-bit.  When ``sim_timeout_s`` is set, the pool path additionally
+runs a watchdog: a hung or crashed worker costs the affected design one
+attempt, the pool is rebuilt, and only the designs whose results were lost
+are re-dispatched.  Quarantined designs surface as ``sim_failed`` run
+events plus ``sim_retries_total`` / ``sim_failures_total`` counters, and
+their per-design outcomes stay readable on
+:attr:`~SimulationExecutor.last_outcomes`.
+
 The task object must be picklable for the parallel path — all tasks in
-:mod:`repro.circuits` and :mod:`repro.core.synthetic` are.
+:mod:`repro.circuits` and :mod:`repro.core.synthetic` are (including the
+:class:`~repro.resilience.faults.FaultyTask` wrapper).
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing as mp
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.config import ResilienceConfig
 from repro.core.problem import SizingTask
 from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.resilience.policy import (
+    SimOutcome,
+    evaluate_design,
+    penalty_metrics,
+)
 
-# Module-level slot for pool workers (set by the initializer so the task is
-# shipped once per worker instead of once per design).
+# Module-level slots for pool workers (set by the initializer so the task
+# and policy are shipped once per worker instead of once per design).
 _WORKER_TASK: SizingTask | None = None
+_WORKER_POLICY: ResilienceConfig | None = None
+
+# Watchdog slack added on top of the computed retry budget: covers pool
+# spin-up (spawn context) and pickling, so healthy-but-queued designs are
+# never misdiagnosed as hung.  The deadline is deliberately conservative —
+# it exists to catch *hangs and crashes*, not to race close finishes.
+_WATCHDOG_SLACK_S = 5.0
 
 
-def _init_worker(task: SizingTask) -> None:
-    global _WORKER_TASK
+def _init_worker(task: SizingTask,
+                 policy: ResilienceConfig | None = None) -> None:
+    global _WORKER_TASK, _WORKER_POLICY
     _WORKER_TASK = task
+    _WORKER_POLICY = policy
 
 
 def _evaluate_one(u: np.ndarray) -> tuple[np.ndarray, float]:
@@ -45,6 +74,15 @@ def _evaluate_one(u: np.ndarray) -> tuple[np.ndarray, float]:
     t0 = time.perf_counter()
     metrics = _WORKER_TASK.evaluate(u)
     return metrics, time.perf_counter() - t0
+
+
+def _evaluate_one_resilient(u: np.ndarray,
+                            start_attempt: int = 0) -> SimOutcome:
+    """Worker-side retry loop; mirrors the serial path exactly."""
+    if _WORKER_TASK is None or _WORKER_POLICY is None:  # pragma: no cover
+        raise RuntimeError("worker not initialized with a policy")
+    return evaluate_design(_WORKER_TASK, u, _WORKER_POLICY,
+                           start_attempt=start_attempt)
 
 
 @dataclass
@@ -59,55 +97,70 @@ class BatchTiming:
 
 
 class SimulationExecutor:
-    """Evaluates design batches, serially or over a process pool."""
+    """Evaluates design batches, serially or over a process pool.
+
+    Supports the context-manager protocol; prefer ``with`` over relying on
+    ``__del__`` for pool shutdown::
+
+        with SimulationExecutor(task, n_workers=4) as ex:
+            metrics = ex.evaluate_batch(designs)
+    """
 
     def __init__(self, task: SizingTask, n_workers: int = 0,
-                 telemetry: Telemetry | None = None) -> None:
+                 telemetry: Telemetry | None = None,
+                 resilience: ResilienceConfig | None = None) -> None:
         if n_workers < 0:
             raise ValueError("n_workers must be >= 0")
         self.task = task
         self.n_workers = n_workers
         self.obs = telemetry or NULL_TELEMETRY
+        self.policy = resilience
         self.batch_timings: list[BatchTiming] = []
+        #: Per-design outcomes of the most recent policy-path batch.
+        self.last_outcomes: list[SimOutcome] = []
         self._pool: mp.pool.Pool | None = None
 
+    # -- pool lifecycle ------------------------------------------------------
     def _ensure_pool(self) -> mp.pool.Pool:
         if self._pool is None:
             ctx = mp.get_context("spawn")
             self._pool = ctx.Pool(
                 processes=self.n_workers,
                 initializer=_init_worker,
-                initargs=(self.task,),
+                initargs=(self.task, self.policy),
             )
         return self._pool
 
+    def _rebuild_pool(self) -> None:
+        """Kill a wedged pool so the next dispatch starts clean."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self.obs.inc("pool_rebuilds_total")
+
+    # -- evaluation ----------------------------------------------------------
     def evaluate_batch(self, designs: np.ndarray,
                        kind: str = "sim") -> np.ndarray:
         """Metric vectors for a batch of normalized designs, shape (n, m+1).
 
         ``kind`` labels the batch's provenance (``init``/``actor``/``ns``)
-        in metrics and timing records.
+        in metrics and timing records.  An empty batch returns an empty
+        ``(0, m+1)`` array without touching the task or the pool.
         """
-        designs = np.atleast_2d(np.asarray(designs, dtype=float))
+        designs = np.asarray(designs, dtype=float)
+        if designs.size == 0:
+            return np.empty((0, self.task.m + 1))
+        designs = np.atleast_2d(designs)
         use_pool = self.n_workers > 0 and len(designs) > 1
         t_batch = time.perf_counter()
         with self.obs.span("simulate", n=len(designs), kind=kind,
                            parallel=use_pool):
-            if not use_pool:
-                outputs, durations = [], []
-                for u in designs:
-                    t0 = time.perf_counter()
-                    outputs.append(self.task.evaluate(u))
-                    durations.append(time.perf_counter() - t0)
-                metrics = np.stack(outputs)
+            if self.policy is None:
+                metrics, durations = self._plain_batch(designs, use_pool)
             else:
-                pool = self._ensure_pool()
-                self.obs.set_gauge("pool_workers_busy",
-                                   min(self.n_workers, len(designs)))
-                results = pool.map(_evaluate_one, list(designs))
-                self.obs.set_gauge("pool_workers_busy", 0)
-                metrics = np.stack([m for m, _ in results])
-                durations = [dt for _, dt in results]
+                metrics, durations = self._policy_batch(designs, use_pool,
+                                                        kind)
         wall = time.perf_counter() - t_batch
         self.batch_timings.append(BatchTiming(
             n=len(designs), kind=kind, wall_s=wall,
@@ -117,12 +170,133 @@ class SimulationExecutor:
             self.obs.observe("sim_latency_s", dt, kind=kind)
         return metrics
 
+    def _plain_batch(self, designs: np.ndarray, use_pool: bool
+                     ) -> tuple[np.ndarray, list[float]]:
+        """Legacy path (no failure policy): evaluate, let exceptions fly."""
+        if not use_pool:
+            outputs, durations = [], []
+            for u in designs:
+                t0 = time.perf_counter()
+                outputs.append(self.task.evaluate(u))
+                durations.append(time.perf_counter() - t0)
+            return np.stack(outputs), durations
+        pool = self._ensure_pool()
+        self.obs.set_gauge("pool_workers_busy",
+                           min(self.n_workers, len(designs)))
+        results = pool.map(_evaluate_one, list(designs))
+        self.obs.set_gauge("pool_workers_busy", 0)
+        return np.stack([m for m, _ in results]), [dt for _, dt in results]
+
+    def _policy_batch(self, designs: np.ndarray, use_pool: bool, kind: str
+                      ) -> tuple[np.ndarray, list[float]]:
+        """Failure-policy path: retries, quarantine, pool watchdog."""
+        policy = self.policy
+        assert policy is not None
+        if not use_pool:
+            outcomes = [evaluate_design(self.task, u, policy)
+                        for u in designs]
+        else:
+            outcomes = self._pool_outcomes(designs, policy)
+        self.last_outcomes = outcomes
+        for i, out in enumerate(outcomes):
+            if out.retries:
+                self.obs.inc("sim_retries_total", out.retries, kind=kind)
+            if out.failed:
+                self.obs.inc("sim_failures_total", kind=kind)
+                if self.obs.run_logger is not None:
+                    self.obs.run_logger.emit(
+                        "sim_failed", kind=kind, design_index=i,
+                        retries=out.retries, reason=out.reason,
+                        error=out.error)
+        metrics = np.stack([out.metrics for out in outcomes])
+        durations = [out.seconds for out in outcomes]
+        return metrics, durations
+
+    def _attempt_budget_s(self, policy: ResilienceConfig) -> float:
+        """Worst-case worker-side seconds for one design's full retry loop."""
+        attempts = policy.max_retries + 1
+        budget = (policy.sim_timeout_s or 0.0) * attempts
+        if policy.backoff_base_s > 0:
+            budget += sum(
+                policy.backoff_base_s * policy.backoff_factor ** k
+                * (1.0 + policy.backoff_jitter)
+                for k in range(policy.max_retries))
+        return budget
+
+    def _pool_outcomes(self, designs: np.ndarray,
+                       policy: ResilienceConfig) -> list[SimOutcome]:
+        """Dispatch with watchdog + crash recovery.
+
+        Without ``sim_timeout_s`` this is a plain (blocking) pool map of
+        the worker-side retry loop.  With it, each dispatch is awaited
+        under a deadline; on a timeout the hung design is charged one
+        attempt, the pool is rebuilt (a crashed worker manifests as the
+        same stuck result), and every design whose result died with the
+        pool is re-dispatched — completed outcomes are kept.
+        """
+        n = len(designs)
+        self.obs.set_gauge("pool_workers_busy", min(self.n_workers, n))
+        try:
+            if policy.sim_timeout_s is None:
+                pool = self._ensure_pool()
+                return pool.starmap(_evaluate_one_resilient,
+                                    [(u, 0) for u in designs])
+            outcomes: list[SimOutcome | None] = [None] * n
+            # (index, start_attempt, timeouts_charged) still to run.
+            pending: list[tuple[int, int]] = [(i, 0) for i in range(n)]
+            while pending:
+                pool = self._ensure_pool()
+                # Generous per-result deadline: full retry budget for every
+                # design that may be queued ahead, plus pool-spinup slack.
+                waves = math.ceil(len(pending) / max(1, self.n_workers))
+                deadline = (self._attempt_budget_s(policy) * waves
+                            + _WATCHDOG_SLACK_S)
+                handles = [(i, sa, pool.apply_async(
+                    _evaluate_one_resilient, (designs[i], sa)))
+                    for i, sa in pending]
+                pending = []
+                wedged = False
+                for i, sa, handle in handles:
+                    if wedged:
+                        # The pool died mid-batch; this result may be lost.
+                        if handle.ready():
+                            outcomes[i] = handle.get().merged_retries(sa)
+                        else:
+                            pending.append((i, sa))
+                        continue
+                    try:
+                        outcomes[i] = handle.get(deadline).merged_retries(sa)
+                    except mp.TimeoutError:
+                        wedged = True
+                        if sa < policy.max_retries:
+                            # The timed-out attempt is charged as a retry.
+                            pending.append((i, sa + 1))
+                        else:
+                            outcomes[i] = SimOutcome(
+                                penalty_metrics(self.task),
+                                seconds=deadline, retries=sa, failed=True,
+                                reason="timeout",
+                                error=f"no result within {deadline:.1f}s")
+                if wedged:
+                    self._rebuild_pool()
+            return [out for out in outcomes if out is not None]
+        finally:
+            self.obs.set_gauge("pool_workers_busy", 0)
+
+    # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:
         """Shut the pool down (idempotent)."""
         if self._pool is not None:
             self._pool.close()
             self._pool.join()
             self._pool = None
+
+    def __enter__(self) -> "SimulationExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     def __del__(self) -> None:  # pragma: no cover - GC path
         try:

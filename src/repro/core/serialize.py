@@ -15,7 +15,10 @@ import numpy as np
 
 from repro.core.result import EvaluationRecord, OptimizationResult
 
-_FORMAT_VERSION = 1
+# Version 2 stores ``kinds`` as a fixed-width unicode array so archives
+# load with ``allow_pickle=False``; version-1 archives (object-dtype kinds)
+# are still readable but need the pickle-permitting legacy path.
+_FORMAT_VERSION = 2
 
 
 def save_result(result: OptimizationResult, path: str | pathlib.Path) -> None:
@@ -51,7 +54,8 @@ def save_result(result: OptimizationResult, path: str | pathlib.Path) -> None:
     np.savez_compressed(
         path, header=np.array(header), xs=xs, metrics=metrics, foms=foms,
         t_walls=t_walls, feasible=feasible, owners=owners,
-        kinds=np.array(kinds, dtype=object),
+        kinds=(np.array(kinds, dtype=np.str_) if kinds
+               else np.empty(0, dtype="U1")),
     )
 
 
@@ -87,14 +91,24 @@ def load_comparison(directory: str | pathlib.Path
 
 
 def load_result(path: str | pathlib.Path) -> OptimizationResult:
-    """Load a result previously written by :func:`save_result`."""
-    with np.load(path, allow_pickle=True) as data:
+    """Load a result previously written by :func:`save_result`.
+
+    Archives are read with ``allow_pickle=False``; only a version-1
+    archive (whose ``kinds`` array is object-dtype) is re-opened with
+    pickle enabled, and only after its header has been verified.
+    """
+    with np.load(path, allow_pickle=False) as data:
         header = json.loads(str(data["header"]))
-        if header.get("version") != _FORMAT_VERSION:
+        version = header.get("version")
+        if version not in (1, _FORMAT_VERSION):
             raise ValueError(
-                f"unsupported result format version {header.get('version')}")
+                f"unsupported result format version {version}")
+        if version == 1:
+            with np.load(path, allow_pickle=True) as legacy:
+                kinds = [str(k) for k in legacy["kinds"]]
+        else:
+            kinds = [str(k) for k in data["kinds"]]
         records = []
-        kinds = list(data["kinds"])
         owners = data["owners"]
         for i in range(len(data["foms"])):
             records.append(EvaluationRecord(

@@ -7,6 +7,8 @@ method*; each method then spends the same ``n_sims`` simulation budget.
 
 from __future__ import annotations
 
+import pathlib
+
 import numpy as np
 
 from repro.baselines import (
@@ -43,11 +45,25 @@ _BASELINES = {
 
 
 def make_initial_set(task: SizingTask, n_init: int,
-                     seed: int | None = None) -> tuple[np.ndarray, np.ndarray]:
-    """Sample and simulate the shared initial set X^init."""
+                     seed: int | None = None,
+                     telemetry=None,
+                     resilience=None,
+                     n_workers: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Sample and simulate the shared initial set X^init.
+
+    The simulations run through a scoped
+    :class:`~repro.core.parallel.SimulationExecutor`, so they are counted
+    by ``telemetry`` and, when a
+    :class:`~repro.core.config.ResilienceConfig` is given, covered by the
+    same retry/quarantine policy as the optimization loop.
+    """
+    from repro.core.parallel import SimulationExecutor
+
     rng = np.random.default_rng(seed)
     x_init = task.space.sample(rng, n_init)
-    f_init = task.evaluate_batch(x_init)
+    with SimulationExecutor(task, n_workers=n_workers, telemetry=telemetry,
+                            resilience=resilience) as executor:
+        f_init = executor.evaluate_batch(x_init, kind="init")
     return x_init, f_init
 
 
@@ -74,29 +90,61 @@ def run_method(method: str, task: SizingTask, n_sims: int,
     raise ValueError(f"unknown method {method!r}; options: {METHOD_NAMES}")
 
 
+def _checkpoint_name(method: str, run: int) -> str:
+    return f"{method.replace('/', '_')}_run{run}.npz"
+
+
 def run_comparison(task: SizingTask, methods: list[str] | tuple[str, ...],
                    n_runs: int, n_sims: int, n_init: int,
                    seed: int = 0,
                    maopt_overrides: dict | None = None,
                    verbose: bool = False,
-                   telemetry=None
+                   telemetry=None,
+                   checkpoint_dir: str | pathlib.Path | None = None
                    ) -> dict[str, list[OptimizationResult]]:
     """The full Table II/IV/VI experiment for one circuit.
 
     Returns method -> list of per-repeat results.  Repeat ``r`` uses the
     same initial set for every method (seeded by ``seed + r``).  A shared
     ``telemetry`` bundle collects every method's spans/metrics/events.
+
+    With ``checkpoint_dir`` the comparison becomes resumable at
+    (method, run) granularity: each completed run is archived there via
+    :func:`repro.core.serialize.save_result`, and a re-invocation with the
+    same directory loads the archives instead of re-running those cells.
+    Simulation budgets are the expensive resource, so a killed comparison
+    loses at most one in-flight run.
     """
+    from repro.core.serialize import load_result, save_result
+
+    if checkpoint_dir is not None:
+        checkpoint_dir = pathlib.Path(checkpoint_dir)
+        checkpoint_dir.mkdir(parents=True, exist_ok=True)
     results: dict[str, list[OptimizationResult]] = {m: [] for m in methods}
     for r in range(n_runs):
         run_seed = seed + r
-        x_init, f_init = make_initial_set(task, n_init, seed=run_seed)
+        todo = [m for m in methods
+                if checkpoint_dir is None
+                or not (checkpoint_dir / _checkpoint_name(m, r)).exists()]
+        x_init = f_init = None
+        if todo:  # a fully-restored repeat never re-simulates its init set
+            x_init, f_init = make_initial_set(task, n_init, seed=run_seed,
+                                              telemetry=telemetry)
         for method in methods:
+            if method not in todo:
+                res = load_result(checkpoint_dir / _checkpoint_name(method, r))
+                results[method].append(res)
+                if verbose:
+                    print(f"[run {r}] {method:8s} restored from checkpoint "
+                          f"(best_fom={res.best_fom:.4g})")
+                continue
             res = run_method(method, task, n_sims, x_init, f_init,
                              seed=run_seed * 1000 + 7,
                              maopt_overrides=maopt_overrides,
                              telemetry=telemetry)
             results[method].append(res)
+            if checkpoint_dir is not None:
+                save_result(res, checkpoint_dir / _checkpoint_name(method, r))
             if verbose:
                 bf = res.best_feasible()
                 print(f"[run {r}] {method:8s} best_fom={res.best_fom:.4g} "

@@ -25,6 +25,22 @@ class Optimizer:
         for p in self.params:
             p.zero_grad()
 
+    def state_dict(self) -> dict:
+        """Snapshot of the optimizer's mutable state (moments, step count).
+
+        Values are either scalars or lists of arrays (one per parameter);
+        restoring via :meth:`load_state_dict` makes subsequent steps
+        bit-identical to an uninterrupted optimizer — the contract the
+        checkpoint/resume layer relies on.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        if state:
+            raise ValueError(f"{type(self).__name__} holds no state, got "
+                             f"keys {sorted(state)}")
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
@@ -46,6 +62,16 @@ class SGD(Optimizer):
                 p.value += v
             else:
                 p.value -= self.lr * p.grad
+
+    def state_dict(self) -> dict:
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        velocity = state["velocity"]
+        if len(velocity) != len(self._velocity):
+            raise ValueError("velocity list length mismatch")
+        for v, new in zip(self._velocity, velocity):
+            v[...] = new
 
 
 class Adam(Optimizer):
@@ -81,3 +107,19 @@ class Adam(Optimizer):
             v *= b2
             v += (1.0 - b2) * p.grad**2
             p.value -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "t": self._t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if len(state["m"]) != len(self._m) or len(state["v"]) != len(self._v):
+            raise ValueError("moment list length mismatch")
+        self._t = int(state["t"])
+        for dst, src in zip(self._m, state["m"]):
+            dst[...] = src
+        for dst, src in zip(self._v, state["v"]):
+            dst[...] = src

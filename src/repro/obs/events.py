@@ -6,15 +6,24 @@ a JSONL file, and optionally mirrored to a stdlib :mod:`logging` logger.
 
 Event vocabulary emitted by the optimizers:
 
-========== =============================================================
-kind        payload
-========== =============================================================
-run_start   method, task, n_sims
-evaluation  kind (init/actor/ns/...), fom, feasible, owner, index, t_wall
-round_start round, kind
-round_end   round, kind, plus per-round diagnostics (critic_loss, ...)
-run_end     method, n_sims, best_fom, wall_time_s, success
-========== =============================================================
+=================== ====================================================
+kind                 payload
+=================== ====================================================
+run_start            method, task, n_sims
+evaluation           kind (init/actor/ns/...), fom, feasible, owner,
+                     index, t_wall
+round_start          round, kind
+round_end            round, kind, plus per-round diagnostics
+                     (critic_loss, ...)
+run_end              method, n_sims, best_fom, wall_time_s, success
+sim_failed           kind, design_index, retries, reason
+                     (exception/nonfinite/timeout), error — a design was
+                     quarantined by the failure policy
+checkpoint_saved     path, round or n_records — an optimizer snapshot
+                     was written atomically
+checkpoint_restored  path, round or n_records — an optimizer was rebuilt
+                     from a snapshot
+=================== ====================================================
 
 ``MAOptimizer.diagnostics`` is a backward-compatible view over the
 ``round_end`` events of its logger.

@@ -31,6 +31,8 @@ class ObserverProtocol(Protocol):
 
     def on_run_end(self, optimizer: Any, result: Any) -> None: ...
 
+    def on_checkpoint(self, optimizer: Any, path: Any) -> None: ...
+
 
 class BaseObserver:
     """No-op implementation; subclass and override what you need."""
@@ -47,6 +49,9 @@ class BaseObserver:
         pass
 
     def on_run_end(self, optimizer: Any, result: Any) -> None:
+        pass
+
+    def on_checkpoint(self, optimizer: Any, path: Any) -> None:
         pass
 
 

@@ -1,0 +1,115 @@
+"""Deterministic fault injection for testing every degradation path.
+
+:class:`FaultyTask` wraps any :class:`~repro.core.problem.SizingTask` and
+injects, at configurable rates, the three failure modes a real flaky
+simulator exhibits:
+
+* **exceptions** (license drop / non-convergence — :class:`InjectedFault`);
+* **NaN metrics** (a run that "finished" but produced garbage);
+* **slow evaluations** (a hung process, caught by the pool-path watchdog).
+
+Every injection decision is a pure function of ``(seed, design bytes,
+attempt)`` — *not* of call order or process identity — so the same seeded
+run produces the same faults serially, over a process pool, and across
+retries (retry ``k`` of a design re-rolls with ``attempt=k``, so retries
+genuinely can succeed).  The wrapper is picklable whenever the inner task
+is, and :meth:`fault_draws` lets tests replay the exact injection schedule
+to check telemetry against ground truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+import numpy as np
+
+from repro.core.problem import SizingTask
+from repro.resilience.policy import InjectedFault
+
+__all__ = ["FaultyTask", "InjectedFault"]
+
+
+class FaultyTask(SizingTask):
+    """A :class:`SizingTask` wrapper that injects deterministic faults."""
+
+    #: Signals the policy layer that evaluate() takes an ``attempt`` kwarg.
+    accepts_attempt = True
+
+    def __init__(self, inner: SizingTask, error_rate: float = 0.0,
+                 nan_rate: float = 0.0, slow_rate: float = 0.0,
+                 slow_s: float = 0.25, seed: int = 0) -> None:
+        for name, rate in (("error_rate", error_rate),
+                           ("nan_rate", nan_rate),
+                           ("slow_rate", slow_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if slow_s < 0:
+            raise ValueError("slow_s must be >= 0")
+        self.inner = inner
+        self.error_rate = float(error_rate)
+        self.nan_rate = float(nan_rate)
+        self.slow_rate = float(slow_rate)
+        self.slow_s = float(slow_s)
+        self.seed = int(seed)
+        # Present the inner task's public face so the wrapper is a drop-in.
+        self.name = inner.name
+        self.space = inner.space
+        self.target = inner.target
+        self.specs = inner.specs
+
+    # -- deterministic draws -------------------------------------------------
+    def fault_draws(self, u: np.ndarray, attempt: int = 0
+                    ) -> dict[str, bool]:
+        """The injection decisions for ``(u, attempt)``; pure and replayable.
+
+        Keys: ``slow``, ``error``, ``nan``.  Tests use this to compute the
+        expected retry/failure telemetry for a recorded design stream.
+        """
+        u = np.ascontiguousarray(np.asarray(u, dtype=float).ravel())
+        h = hashlib.blake2b(digest_size=24)
+        h.update(self.seed.to_bytes(8, "little", signed=True))
+        h.update(u.tobytes())
+        h.update(int(attempt).to_bytes(4, "little"))
+        digest = h.digest()
+        draws = [int.from_bytes(digest[8 * i:8 * (i + 1)], "little")
+                 / 2.0**64 for i in range(3)]
+        return {
+            "slow": draws[0] < self.slow_rate,
+            "error": draws[1] < self.error_rate,
+            "nan": draws[2] < self.nan_rate,
+        }
+
+    def planned_outcome(self, u: np.ndarray, max_retries: int
+                        ) -> tuple[int, bool]:
+        """Replay the retry schedule: ``(retries, quarantined)``.
+
+        Mirrors :func:`repro.resilience.policy.evaluate_design` for a
+        policy with NaN quarantine on — the ground truth the telemetry
+        acceptance test compares against.
+        """
+        retries = 0
+        for attempt in range(max_retries + 1):
+            draws = self.fault_draws(u, attempt)
+            if not (draws["error"] or draws["nan"]):
+                return retries, False
+            if attempt < max_retries:
+                retries += 1
+        return retries, True
+
+    # -- SizingTask interface ------------------------------------------------
+    def simulate(self, u: np.ndarray) -> dict[str, float]:
+        return self.inner.simulate(u)
+
+    def evaluate(self, u: np.ndarray, attempt: int = 0) -> np.ndarray:
+        draws = self.fault_draws(u, attempt)
+        if draws["slow"]:
+            time.sleep(self.slow_s)
+        if draws["error"]:
+            raise InjectedFault(
+                f"injected simulator fault (attempt {attempt})")
+        metrics = self.inner.evaluate(u)
+        if draws["nan"]:
+            metrics = np.asarray(metrics, dtype=float).copy()
+            metrics[:] = np.nan
+        return metrics

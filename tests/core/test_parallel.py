@@ -31,6 +31,20 @@ class TestSerial:
         ex.close()
         ex.close()
 
+    def test_empty_batch(self):
+        task = ConstrainedSphere(d=4, seed=0)
+        ex = SimulationExecutor(task, n_workers=0)
+        for empty in ([], np.empty((0, task.d))):
+            out = ex.evaluate_batch(empty)
+            assert out.shape == (0, task.m + 1)
+        assert ex.batch_timings == []  # nothing was simulated
+
+    def test_context_manager_closes_pool(self):
+        task = ConstrainedSphere(d=4, seed=0)
+        with SimulationExecutor(task, n_workers=0) as ex:
+            assert ex.evaluate_batch(np.full(4, 0.5)).shape == (1, task.m + 1)
+        assert ex._pool is None
+
 
 class TestTelemetry:
     def test_batch_timing_recorded(self, rng):

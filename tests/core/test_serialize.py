@@ -94,3 +94,44 @@ class TestComparisonArchive:
         save_comparison({"m": [result]}, tmp_path / "c")
         curves = fom_curves(load_comparison(tmp_path / "c"))
         assert "m" in curves
+
+
+class TestPickleFreeFormat:
+    def test_archives_load_without_pickle(self, result, tmp_path):
+        path = tmp_path / "run.npz"
+        save_result(result, path)
+        # a v2 archive must be fully readable with pickle disabled
+        with np.load(path, allow_pickle=False) as data:
+            for key in data.files:
+                assert data[key].dtype != object
+                data[key]  # force decompression of every array
+
+    def test_version_1_archives_still_load(self, result, tmp_path):
+        import json
+
+        path = tmp_path / "run.npz"
+        save_result(result, path)
+        # rewrite as a faithful v1 archive: object-dtype kinds + version 1
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {k: data[k] for k in data.files}
+        header = json.loads(str(arrays["header"]))
+        header["version"] = 1
+        arrays["header"] = np.array(json.dumps(header))
+        arrays["kinds"] = np.array([str(k) for k in arrays["kinds"]],
+                                   dtype=object)
+        np.savez_compressed(path, **arrays)
+        loaded = load_result(path)
+        assert [r.kind for r in loaded.records] == [r.kind
+                                                    for r in result.records]
+        np.testing.assert_allclose(loaded.best_fom_trace(),
+                                   result.best_fom_trace())
+
+    def test_empty_result_round_trips(self, tmp_path):
+        from repro.core.result import OptimizationResult
+
+        empty = OptimizationResult(task_name="t", method="m", records=[],
+                                   init_best_fom=1.0, wall_time_s=0.0)
+        path = tmp_path / "empty.npz"
+        save_result(empty, path)
+        loaded = load_result(path)
+        assert loaded.records == [] and loaded.method == "m"

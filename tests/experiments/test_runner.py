@@ -67,3 +67,47 @@ class TestRunComparison:
                              n_init=8, seed=0)
         r0, r1 = out["Random"]
         assert r0.init_best_fom != r1.init_best_fom
+
+
+class TestInitialSetTelemetry:
+    def test_counted_and_policy_covered(self, task):
+        from repro.core.config import ResilienceConfig
+        from repro.obs import MetricsRegistry, Telemetry
+        from repro.resilience.faults import FaultyTask
+
+        reg = MetricsRegistry()
+        faulty = FaultyTask(task, error_rate=0.3, seed=0)
+        x, f = make_initial_set(faulty, 10, seed=0,
+                                telemetry=Telemetry(metrics=reg),
+                                resilience=ResilienceConfig(max_retries=3))
+        assert x.shape == (10, 5) and np.all(np.isfinite(f))
+        assert reg.counter_value("sims_total", kind="init") == 10
+
+
+class TestResumableComparison:
+    def test_completed_cells_are_skipped(self, task, tmp_path):
+        ckpt = tmp_path / "cmp"
+        kwargs = dict(n_runs=2, n_sims=5, n_init=8, seed=0,
+                      maopt_overrides=FAST, checkpoint_dir=ckpt)
+        first = run_comparison(task, ["Random", "DNN-Opt"], **kwargs)
+        assert len(list(ckpt.glob("*.npz"))) == 4
+        # Second invocation restores every cell from the archives without
+        # re-running anything; results must match bit-for-bit.
+        second = run_comparison(task, ["Random", "DNN-Opt"], **kwargs)
+        for method in ("Random", "DNN-Opt"):
+            for a, b in zip(first[method], second[method]):
+                np.testing.assert_array_equal(
+                    [r.fom for r in a.records], [r.fom for r in b.records])
+
+    def test_partial_directory_resumes(self, task, tmp_path):
+        ckpt = tmp_path / "cmp"
+        kwargs = dict(n_runs=1, n_sims=5, n_init=8, seed=0,
+                      maopt_overrides=FAST, checkpoint_dir=ckpt)
+        only_random = run_comparison(task, ["Random"], **kwargs)
+        both = run_comparison(task, ["Random", "DNN-Opt"], **kwargs)
+        # the archived Random run is reused verbatim ...
+        np.testing.assert_array_equal(
+            [r.fom for r in only_random["Random"][0].records],
+            [r.fom for r in both["Random"][0].records])
+        # ... and the missing cell was run and archived
+        assert (ckpt / "DNN-Opt_run0.npz").exists()

@@ -85,3 +85,52 @@ class TestAdam:
         p.grad += 5.0
         opt.zero_grad()
         assert np.all(p.grad == 0.0)
+
+
+class TestStateDict:
+    @pytest.mark.parametrize("cls,kwargs", [
+        (SGD, {"lr": 0.1, "momentum": 0.9}),
+        (Adam, {"lr": 0.01}),
+    ])
+    def test_resume_is_bit_exact(self, cls, kwargs):
+        rng = np.random.default_rng(0)
+
+        def fresh():
+            ps = [Parameter(np.ones((3, 2))), Parameter(np.zeros(4))]
+            return ps, cls(ps, **kwargs)
+
+        def step(ps, opt, g):
+            for p, grad in zip(ps, g):
+                p.grad[...] = grad
+            opt.step()
+
+        grads = [[rng.normal(size=(3, 2)), rng.normal(size=4)]
+                 for _ in range(6)]
+        ps_a, opt_a = fresh()
+        for g in grads:
+            step(ps_a, opt_a, g)
+
+        ps_b, opt_b = fresh()
+        for g in grads[:3]:
+            step(ps_b, opt_b, g)
+        state = opt_b.state_dict()
+        ps_c, opt_c = fresh()
+        for p_c, p_b in zip(ps_c, ps_b):
+            p_c.value[...] = p_b.value
+        opt_c.load_state_dict(state)
+        for g in grads[3:]:
+            step(ps_c, opt_c, g)
+        for p_a, p_c in zip(ps_a, ps_c):
+            np.testing.assert_array_equal(p_a.value, p_c.value)
+
+    def test_state_dict_is_a_copy(self):
+        ps = [Parameter(np.ones(3))]
+        opt = Adam(ps, lr=0.01)
+        state = opt.state_dict()
+        state["m"][0][:] = 99.0
+        assert np.all(opt._m[0] == 0.0)
+
+    def test_length_mismatch_rejected(self):
+        opt = SGD([Parameter(np.ones(3))], lr=0.1, momentum=0.5)
+        with pytest.raises(ValueError):
+            opt.load_state_dict({"velocity": []})

@@ -1,0 +1,76 @@
+"""Acceptance test: a 20%-fault run finishes its budget with correct telemetry."""
+
+import numpy as np
+
+from repro.core.config import MAOptConfig, ResilienceConfig
+from repro.core.ma_opt import MAOptimizer
+from repro.core.synthetic import ConstrainedSphere
+from repro.obs import MetricsRegistry, RunLogger, Telemetry
+from repro.resilience.faults import FaultyTask
+from repro.resilience.policy import penalty_metrics
+
+MAX_RETRIES = 2
+KINDS = ("init", "actor", "ns")
+
+
+def run_faulty(n_sims=15, n_init=10):
+    inner = ConstrainedSphere(d=4, seed=0)
+    # seed=5 is chosen so the 20% fault rate provably exercises both
+    # retries-then-success and full quarantine within this small budget.
+    task = FaultyTask(inner, error_rate=0.1, nan_rate=0.1, seed=5)
+    cfg = MAOptConfig(seed=0, critic_steps=8, actor_steps=4, batch_size=8,
+                      n_elite=5, hidden=(8, 8),
+                      resilience=ResilienceConfig(max_retries=MAX_RETRIES))
+    reg, log = MetricsRegistry(), RunLogger()
+    opt = MAOptimizer(task, cfg,
+                      telemetry=Telemetry(metrics=reg, run_logger=log))
+    rng = np.random.default_rng(123)
+    x_init = inner.space.sample(rng, n_init)
+    result = opt.run(n_sims=n_sims, x_init=x_init)
+    return task, x_init, result, reg, log
+
+
+class TestGracefulDegradation:
+    def test_full_budget_with_matching_telemetry(self):
+        task, x_init, result, reg, log = run_faulty()
+
+        # 1. The run completed its whole budget without raising.
+        assert len(result.records) == 15
+
+        # 2. Every evaluated design (init set + records) has a replayable
+        #    fault schedule; telemetry must match that ground truth exactly.
+        evaluated = [("init", x) for x in x_init] + [
+            (r.kind, r.x) for r in result.records]
+        exp_retries = {k: 0 for k in KINDS}
+        exp_failures = {k: 0 for k in KINDS}
+        quarantined_xs = []
+        for kind, x in evaluated:
+            retries, failed = task.planned_outcome(x, MAX_RETRIES)
+            exp_retries[kind] += retries
+            exp_failures[kind] += int(failed)
+            if failed:
+                quarantined_xs.append(x)
+        # the injection rates guarantee the drill actually exercised faults
+        assert sum(exp_retries.values()) > 0
+        assert sum(exp_failures.values()) > 0
+
+        for kind in KINDS:
+            assert reg.counter_value("sim_retries_total",
+                                     kind=kind) == exp_retries[kind]
+            assert reg.counter_value("sim_failures_total",
+                                     kind=kind) == exp_failures[kind]
+        assert len(log.events("sim_failed")) == sum(exp_failures.values())
+
+        # 3. Quarantined designs surface as infeasible penalty records.
+        pm = penalty_metrics(task)
+        for rec in result.records:
+            _, failed = task.planned_outcome(rec.x, MAX_RETRIES)
+            if failed:
+                assert not rec.feasible
+                np.testing.assert_array_equal(rec.metrics, pm)
+            assert np.all(np.isfinite(rec.metrics))
+
+    def test_quarantine_never_poisons_dataset(self):
+        _, _, result, _, _ = run_faulty()
+        foms = np.array([r.fom for r in result.records])
+        assert np.all(np.isfinite(foms))

@@ -1,0 +1,85 @@
+"""Unit tests for the deterministic fault-injection wrapper."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.config import ResilienceConfig
+from repro.core.synthetic import ConstrainedSphere
+from repro.resilience.faults import FaultyTask, InjectedFault
+from repro.resilience.policy import evaluate_design
+
+
+class TestDeterminism:
+    def test_draws_are_pure(self, sphere_task, rng):
+        task = FaultyTask(sphere_task, error_rate=0.3, nan_rate=0.3, seed=7)
+        u = rng.uniform(size=sphere_task.d)
+        assert task.fault_draws(u, 0) == task.fault_draws(u, 0)
+        assert task.fault_draws(u, 0) == task.fault_draws(u.copy(), 0)
+
+    def test_draws_vary_with_attempt_and_seed(self, sphere_task, rng):
+        us = rng.uniform(size=(200, sphere_task.d))
+        t1 = FaultyTask(sphere_task, error_rate=0.5, seed=1)
+        t2 = FaultyTask(sphere_task, error_rate=0.5, seed=2)
+        by_attempt = sum(t1.fault_draws(u, 0) != t1.fault_draws(u, 1)
+                         for u in us)
+        by_seed = sum(t1.fault_draws(u, 0) != t2.fault_draws(u, 0)
+                      for u in us)
+        assert by_attempt > 50 and by_seed > 50
+
+    def test_rates_approximately_honoured(self, sphere_task, rng):
+        task = FaultyTask(sphere_task, error_rate=0.25, seed=0)
+        us = rng.uniform(size=(800, sphere_task.d))
+        hits = sum(task.fault_draws(u)["error"] for u in us)
+        assert 0.18 < hits / 800 < 0.32
+
+    def test_picklable(self, sphere_task):
+        task = FaultyTask(sphere_task, error_rate=0.2, seed=3)
+        clone = pickle.loads(pickle.dumps(task))
+        u = np.full(sphere_task.d, 0.3)
+        assert clone.fault_draws(u, 1) == task.fault_draws(u, 1)
+
+
+class TestInjection:
+    def test_error_raises(self, sphere_task, rng):
+        task = FaultyTask(sphere_task, error_rate=1.0, seed=0)
+        with pytest.raises(InjectedFault):
+            task.evaluate(rng.uniform(size=sphere_task.d))
+
+    def test_nan_poisons_metrics(self, sphere_task, rng):
+        task = FaultyTask(sphere_task, nan_rate=1.0, seed=0)
+        out = task.evaluate(rng.uniform(size=sphere_task.d))
+        assert np.all(np.isnan(out))
+
+    def test_clean_passthrough(self, sphere_task, rng):
+        task = FaultyTask(sphere_task, seed=0)
+        u = rng.uniform(size=sphere_task.d)
+        np.testing.assert_allclose(task.evaluate(u),
+                                   sphere_task.evaluate(u))
+
+    def test_rate_validation(self, sphere_task):
+        with pytest.raises(ValueError):
+            FaultyTask(sphere_task, error_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultyTask(sphere_task, slow_s=-1.0)
+
+    def test_mirrors_inner_interface(self, sphere_task):
+        task = FaultyTask(sphere_task, seed=0)
+        assert task.name == sphere_task.name
+        assert task.d == sphere_task.d
+        assert task.m == sphere_task.m
+
+
+class TestPlannedOutcome:
+    """planned_outcome must replay exactly what evaluate_design does."""
+
+    @pytest.mark.parametrize("max_retries", [0, 1, 3])
+    def test_matches_policy_loop(self, sphere_task, rng, max_retries):
+        task = FaultyTask(sphere_task, error_rate=0.3, nan_rate=0.2, seed=5)
+        policy = ResilienceConfig(max_retries=max_retries)
+        for u in rng.uniform(size=(40, sphere_task.d)):
+            retries, quarantined = task.planned_outcome(u, max_retries)
+            out = evaluate_design(task, u, policy)
+            assert out.retries == retries
+            assert out.failed == quarantined

@@ -1,0 +1,108 @@
+"""Bit-exact checkpoint/resume tests for both optimizer families."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ParticleSwarm, RandomSearch
+from repro.core.config import MAOptConfig, ResilienceConfig
+from repro.core.ma_opt import MAOptimizer
+from repro.core.synthetic import ConstrainedSphere
+
+
+def small_cfg(**overrides) -> MAOptConfig:
+    base = dict(seed=0, critic_steps=8, actor_steps=4, batch_size=8,
+                n_elite=5, hidden=(8, 8))
+    base.update(overrides)
+    return MAOptConfig(**base)
+
+
+def assert_same_records(a, b):
+    assert len(a) == len(b)
+    for r1, r2 in zip(a, b):
+        np.testing.assert_array_equal(r1.x, r2.x)
+        np.testing.assert_array_equal(r1.metrics, r2.metrics)
+        assert r1.fom == r2.fom
+        assert r1.kind == r2.kind
+        assert r1.owner == r2.owner
+        assert r1.feasible == r2.feasible
+
+
+class TestMAOptResume:
+    def test_bit_exact_resume(self, tmp_path):
+        task = ConstrainedSphere(d=4, seed=0)
+        ref = MAOptimizer(task, small_cfg()).run(n_sims=12, n_init=8)
+
+        interrupted = MAOptimizer(task, small_cfg())
+        interrupted.run(n_sims=6, n_init=8)
+        path = interrupted.save_checkpoint(tmp_path / "ck.npz")
+
+        resumed = MAOptimizer.restore(path, task)
+        res = resumed.run(n_sims=12)
+
+        assert_same_records(ref.records, res.records)
+        assert ref.init_best_fom == res.init_best_fom
+        assert ref.best_fom == res.best_fom
+
+    def test_checkpoint_every_writes_during_run(self, tmp_path):
+        task = ConstrainedSphere(d=4, seed=0)
+        path = tmp_path / "auto.npz"
+        cfg = small_cfg(resilience=ResilienceConfig(
+            checkpoint_every=1, checkpoint_path=str(path)))
+        opt = MAOptimizer(task, cfg)
+        result = opt.run(n_sims=8, n_init=8)
+        assert path.exists()
+        # The final snapshot holds the completed run's full record stream.
+        restored = MAOptimizer.restore(path, task)
+        assert_same_records(result.records, restored.records)
+
+    def test_restore_rejects_other_task(self, tmp_path):
+        task = ConstrainedSphere(d=4, seed=0)
+        opt = MAOptimizer(task, small_cfg())
+        opt.run(n_sims=4, n_init=6)
+        path = opt.save_checkpoint(tmp_path / "ck.npz")
+        with pytest.raises(ValueError, match="task"):
+            MAOptimizer.restore(path, ConstrainedSphere(d=6, seed=0))
+
+    def test_restore_rejects_baseline_checkpoint(self, tmp_path):
+        task = ConstrainedSphere(d=4, seed=0)
+        rs = RandomSearch(task, seed=1)
+        rs.run(n_sims=3, n_init=4)
+        path = rs.save_checkpoint(tmp_path / "rs.npz")
+        with pytest.raises(ValueError):
+            MAOptimizer.restore(path, task)
+
+
+class TestBaselineResume:
+    def test_bit_exact_resume(self, tmp_path):
+        task = ConstrainedSphere(d=4, seed=0)
+        ref = RandomSearch(task, seed=7).run(n_sims=12, n_init=8)
+
+        interrupted = RandomSearch(task, seed=7)
+        interrupted.run(n_sims=5, n_init=8)
+        path = interrupted.save_checkpoint(tmp_path / "ck.npz")
+
+        resumed = RandomSearch.restore(path, task)
+        res = resumed.run(n_sims=12, n_init=8)
+
+        assert_same_records(ref.records, res.records)
+        assert ref.init_best_fom == res.init_best_fom
+
+    def test_restore_rejects_other_method(self, tmp_path):
+        task = ConstrainedSphere(d=4, seed=0)
+        rs = RandomSearch(task, seed=1)
+        rs.run(n_sims=3, n_init=4)
+        path = rs.save_checkpoint(tmp_path / "rs.npz")
+        with pytest.raises(ValueError, match="method"):
+            ParticleSwarm.restore(path, task)
+
+    def test_checkpoint_emits_event_and_counter(self, tmp_path):
+        from repro.obs import MetricsRegistry, RunLogger, Telemetry
+
+        task = ConstrainedSphere(d=4, seed=0)
+        reg, log = MetricsRegistry(), RunLogger()
+        rs = RandomSearch(task, seed=1,
+                          telemetry=Telemetry(metrics=reg, run_logger=log))
+        rs.run(n_sims=3, n_init=4)
+        rs.save_checkpoint(tmp_path / "ck.npz")
+        assert reg.counter_value("checkpoints_total") == 1
+        assert len(log.events("checkpoint_saved")) == 1

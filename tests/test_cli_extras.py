@@ -91,3 +91,40 @@ class TestSaveFlag:
         loaded = load_result(out)
         assert loaded.method == "Random"
         assert loaded.n_sims == 4
+
+
+class TestResilienceFlags:
+    def test_fault_injected_run_with_checkpoint_and_resume(self, tmp_path,
+                                                           capsys):
+        ckpt = tmp_path / "ck.npz"
+        rc = main(["optimize", "sphere", "--method", "MA-Opt1",
+                   "--sims", "8", "--init", "8",
+                   "--max-retries", "2", "--inject-faults", "0.2",
+                   "--checkpoint", str(ckpt), "--checkpoint-every", "2"])
+        assert rc == 0 and ckpt.exists()
+        rc = main(["optimize", "sphere", "--method", "MA-Opt1",
+                   "--sims", "12", "--init", "8",
+                   "--max-retries", "2", "--inject-faults", "0.2",
+                   "--resume", str(ckpt)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+
+    def test_resume_rejects_baselines(self, tmp_path):
+        with pytest.raises(SystemExit, match="MA-Opt family"):
+            main(["optimize", "sphere", "--method", "Random",
+                  "--resume", str(tmp_path / "ck.npz")])
+
+    def test_bad_fault_rate_rejected(self):
+        with pytest.raises(SystemExit, match="inject-faults"):
+            main(["optimize", "sphere", "--inject-faults", "1.5",
+                  "--sims", "4", "--init", "4"])
+
+    def test_compare_checkpoint_dir(self, tmp_path, capsys):
+        cmd = ["compare", "sphere", "--methods", "Random",
+               "--runs", "1", "--sims", "4", "--init", "6",
+               "--checkpoint-dir", str(tmp_path / "cmp")]
+        assert main(cmd) == 0
+        assert (tmp_path / "cmp" / "Random_run0.npz").exists()
+        assert main(cmd) == 0  # resumes from the archive
+        assert "restored from checkpoint" in capsys.readouterr().out

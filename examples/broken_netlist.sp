@@ -1,0 +1,15 @@
+* Deliberately broken deck: each marked line trips an ERC rule.
+* Used by docs/static_analysis.md and the CI static-analysis job to
+* prove `ma-opt lint` exits nonzero on an unsimulatable netlist.
+*
+* erc.vsource-loop   - V1 and V2 short each other (ideal-source loop)
+* erc.floating-node  - 'dangle' is touched by a single terminal
+* erc.no-dc-path     - 'island' connects only through capacitors
+* erc.unit-suffix    - R2's value "10m" almost certainly meant 10meg
+V1 a 0 DC 1.8
+V2 a 0 DC 3.3
+R1 a dangle 1k
+C1 0 island 1p
+C2 a island 1p
+R2 a 0 10m
+.end

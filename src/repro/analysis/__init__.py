@@ -1,0 +1,92 @@
+"""``repro.analysis`` — static analysis before anything expensive runs.
+
+MA-Opt's whole premise is a tight simulation budget (Alg. 3: ~200 sims);
+a malformed netlist or a self-inconsistent configuration wastes exactly
+that resource.  This subsystem catches both *statically*, plus the repo's
+own coding invariants, behind one ``ma-opt lint`` command:
+
+* :mod:`repro.analysis.erc` — electrical rule checks over netlists
+  (topology + device values), also wired as the pre-simulation gate in
+  :class:`~repro.core.parallel.SimulationExecutor`;
+* :mod:`repro.analysis.configlint` — cross-field validation of
+  :class:`~repro.core.config.MAOptConfig` / run plans / design spaces;
+* :mod:`repro.analysis.codelint` — AST linter enforcing repo invariants
+  (no global RNG, no pickle, no wall-clock in ``core/``, ...).
+
+All three emit the shared :class:`~repro.analysis.diagnostics.Diagnostic`
+model (rule id, severity, location, message, suggested fix) rendered as
+text or JSONL with ``--select``/``--ignore`` filtering and conventional
+exit codes.  See ``docs/static_analysis.md`` for the rule catalog.
+"""
+
+from repro.analysis.codelint import (
+    CODE_RULES,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.configlint import (
+    CFG_RULES,
+    ConfigLintError,
+    check_config,
+    validate_config,
+)
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Rule,
+    RuleSet,
+    Severity,
+    exit_code,
+    filter_diagnostics,
+    has_errors,
+    max_severity,
+    render_jsonl,
+    render_text,
+    sort_diagnostics,
+)
+from repro.analysis.erc import (
+    ERC_RULES,
+    assert_clean,
+    gate_errors,
+    is_simulatable,
+    lint_circuit,
+    lint_deck,
+    run_erc,
+)
+
+__all__ = [
+    "CODE_RULES",
+    "CFG_RULES",
+    "ConfigLintError",
+    "Diagnostic",
+    "ERC_RULES",
+    "Rule",
+    "RuleSet",
+    "Severity",
+    "assert_clean",
+    "check_config",
+    "exit_code",
+    "filter_diagnostics",
+    "gate_errors",
+    "has_errors",
+    "is_simulatable",
+    "lint_circuit",
+    "lint_deck",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "max_severity",
+    "render_jsonl",
+    "render_text",
+    "run_erc",
+    "sort_diagnostics",
+    "validate_config",
+]
+
+
+def all_rules():
+    """Every registered rule across the three analyzers (catalog order)."""
+    out = []
+    for ruleset in (ERC_RULES, CFG_RULES, CODE_RULES):
+        out.extend(ruleset)
+    return out

@@ -1,0 +1,100 @@
+"""Minimal graph machinery for the electrical rule checks.
+
+The previous lint implementation pulled in :mod:`networkx` — an undeclared
+dependency — for two queries a few dozen lines of array code answer
+directly on circuit-sized graphs:
+
+* connected components (DC-path-to-ground islands) via a union-find over
+  a numpy parent array, and
+* cycle detection with path recovery (ideal voltage-source loops) via the
+  same union-find plus one BFS over the already-accepted edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class UnionFind:
+    """Disjoint sets over ``n`` integer labels (path halving + union by
+    size), backed by numpy arrays."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("need n >= 0")
+        self.parent = np.arange(n, dtype=np.intp)
+        self.size = np.ones(n, dtype=np.intp)
+
+    def find(self, i: int) -> int:
+        parent = self.parent
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]   # path halving
+            i = int(parent[i])
+        return i
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; False if already joined."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def component_mask(self, i: int) -> np.ndarray:
+        """Boolean mask of every label in ``i``'s component."""
+        root = self.find(i)
+        return np.fromiter((self.find(j) == root
+                            for j in range(len(self.parent))),
+                           dtype=bool, count=len(self.parent))
+
+
+def bfs_path(adjacency: dict[int, list[tuple[int, str]]],
+             start: int, goal: int) -> list[str] | None:
+    """Edge labels along a shortest path ``start -> goal``; None if
+    unreachable.  ``adjacency`` maps node -> [(neighbour, edge_label)]."""
+    if start == goal:
+        return []
+    seen = {start}
+    frontier: list[tuple[int, list[str]]] = [(start, [])]
+    while frontier:
+        next_frontier: list[tuple[int, list[str]]] = []
+        for node, labels in frontier:
+            for neighbour, label in adjacency.get(node, ()):
+                if neighbour in seen:
+                    continue
+                path = labels + [label]
+                if neighbour == goal:
+                    return path
+                seen.add(neighbour)
+                next_frontier.append((neighbour, path))
+        frontier = next_frontier
+    return None
+
+
+def find_cycle(edges: list[tuple[int, int, str]]) -> list[str] | None:
+    """Labels of the first cycle closed by ``edges`` (processed in order).
+
+    Parallel edges between the same node pair count as a cycle (the
+    voltage-source case ``V1 || V2``); self-loops are ignored — they are
+    reported by a dedicated rule, not as loops.
+    """
+    if not edges:
+        return None
+    n = 1 + max(max(a, b) for a, b, _ in edges)
+    uf = UnionFind(n)
+    adjacency: dict[int, list[tuple[int, str]]] = {}
+    for a, b, label in edges:
+        if a == b:
+            continue
+        if not uf.union(a, b):
+            path = bfs_path(adjacency, a, b)
+            return (path or []) + [label]
+        adjacency.setdefault(a, []).append((b, label))
+        adjacency.setdefault(b, []).append((a, label))
+    return None

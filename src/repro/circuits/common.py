@@ -75,6 +75,40 @@ class CircuitTask(SizingTask):
     def measure(self, params: dict[str, float]) -> dict[str, float]:
         raise NotImplementedError
 
+    # -- static analysis -----------------------------------------------------
+    def build_netlist(self, params: dict[str, float]):
+        """The task's primary bench netlist for a parameter dict, or None.
+
+        Subclasses override this with their netlist builder so static
+        analyses (``ma-opt lint``, the pre-simulation ERC gate in
+        :class:`~repro.core.parallel.SimulationExecutor`) can inspect the
+        exact circuit a design would simulate — without running it.
+        """
+        return None
+
+    def lint_design(self, u: np.ndarray):
+        """Electrical-rule-check one normalized design's netlist.
+
+        Returns :class:`~repro.analysis.diagnostics.Diagnostic` findings
+        (empty = clean).  Tasks without a netlist builder lint clean; a
+        builder that *raises* on these parameters is itself an
+        error-severity finding, since simulation would fail the same way.
+        """
+        from repro.analysis.erc import ERC_RULES, run_erc
+
+        params = self.space.denormalize(u)
+        try:
+            circuit = self.build_netlist(params)
+        except Exception as exc:
+            return [ERC_RULES.diag(
+                "erc.parse-error",
+                f"netlist builder failed for {self.name}: {exc}",
+                location=self.name,
+                fix="check the design-space bounds against the builder")]
+        if circuit is None:
+            return []
+        return run_erc(circuit)
+
     # Small helper: run ``fn`` and return None on *any* simulator error so a
     # single failing measurement doesn't void the rest of the metric dict.
     @staticmethod

@@ -131,6 +131,10 @@ class LDORegulator(CircuitTask):
     def _build(self, params: dict[str, float], **kwargs) -> Circuit:
         return build_ldo(params, nmos=self.nmos, pmos=self.pmos, **kwargs)
 
+    def build_netlist(self, params: dict[str, float]) -> Circuit:
+        """Nominal-load bench netlist (the static-analysis view)."""
+        return self._build(params)
+
     def measure(self, params: dict[str, float]) -> dict[str, float]:
         metrics: dict[str, float | None] = {}
         ckt = self._build(params)

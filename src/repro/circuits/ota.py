@@ -123,6 +123,10 @@ class TwoStageOTA(CircuitTask):
                  log_scale=True, log_floor=1e-6),
         ]
 
+    def build_netlist(self, params: dict[str, float]) -> Circuit:
+        """Open-loop bench netlist (the static-analysis view of a design)."""
+        return build_ota(params, nmos=self.nmos, pmos=self.pmos)
+
     # -- measurements ---------------------------------------------------------
     def measure(self, params: dict[str, float]) -> dict[str, float]:
         metrics: dict[str, float | None] = {}

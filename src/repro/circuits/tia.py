@@ -111,6 +111,10 @@ class ThreeStageTIA(CircuitTask):
                  unit="A/sqrt(Hz) @1MHz", log_scale=True, log_floor=1e-14),
         ]
 
+    def build_netlist(self, params: dict[str, float]):
+        """Transimpedance bench netlist (the static-analysis view)."""
+        return build_tia(params, nmos=self.nmos, pmos=self.pmos)
+
     def measure(self, params: dict[str, float]) -> dict[str, float]:
         metrics: dict[str, float | None] = {}
         fid = self.fid

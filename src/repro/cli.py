@@ -9,6 +9,9 @@ Commands
 ``compare <task>``    run the paper's multi-method comparison and print the
                       Table II/IV/VI-style summary plus the Fig. 5 panel.
 ``netlist <task>``    print the netlist of a design (mid-space by default).
+``lint <targets>``    static analysis: ERC over task netlists or deck
+                      files, ``--config`` cross-validation, ``--code``
+                      AST lint.  Exit 1 on error-severity findings.
 
 Tasks: ``ota``, ``tia``, ``ldo``, ``sphere`` (cheap synthetic).
 """
@@ -247,6 +250,74 @@ def cmd_netlist(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_groups(args: argparse.Namespace) -> list[tuple[str, list]]:
+    """Collect ``(target label, diagnostics)`` groups for ``lint``."""
+    import os
+
+    from repro.analysis.codelint import lint_paths
+    from repro.analysis.configlint import check_config
+    from repro.analysis.erc import lint_deck
+
+    groups: list[tuple[str, list]] = []
+    for target in args.targets:
+        if os.path.exists(target):
+            with open(target, encoding="utf-8") as fh:
+                groups.append((target, lint_deck(fh.read())))
+            continue
+        try:
+            task = _make_task(target, args.fidelity, args.corner)
+        except SystemExit:
+            print(f"repro: error: unknown lint target {target!r} "
+                  f"(neither a file nor a task name)", file=sys.stderr)
+            raise SystemExit(2) from None
+        lint_design = getattr(task, "lint_design", None)
+        if lint_design is None:
+            raise SystemExit(
+                f"repro: error: task {target!r} has no netlist to lint")
+        u = np.full(task.d, args.point)
+        groups.append((target, lint_design(u)))
+    if args.config:
+        from repro.core.config import MAOptConfig
+
+        config = MAOptConfig(**_MAOPT_TUNED)
+        task = (_make_task(args.task, args.fidelity, args.corner)
+                if args.task else None)
+        groups.append(("config", check_config(
+            config, task=task, n_sims=args.sims, n_init=args.init)))
+    for path in args.code:
+        if not os.path.exists(path):
+            raise SystemExit(f"repro: error: no such path {path!r}")
+        groups.append((path, lint_paths([path])))
+    return groups
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.analysis.diagnostics import (exit_code, filter_diagnostics,
+                                            render_text, sort_diagnostics)
+
+    if not args.targets and not args.config and not args.code:
+        print("repro: error: nothing to lint — give task names / deck "
+              "files, --config, or --code PATH", file=sys.stderr)
+        return 2
+    groups = [(label, sort_diagnostics(filter_diagnostics(
+        diags, select=args.select, ignore=args.ignore)))
+        for label, diags in _lint_groups(args)]
+    everything = [d for _, diags in groups for d in diags]
+    if args.format == "json":
+        for label, diags in groups:
+            for d in diags:
+                print(_json.dumps({"target": label, **d.to_dict()},
+                                  sort_keys=True))
+    else:
+        for label, diags in groups:
+            if len(groups) > 1:
+                print(f"== {label} ==")
+            print(render_text(diags))
+    return exit_code(everything)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="MA-Opt reproduction CLI")
@@ -315,6 +386,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--point", type=float, default=0.5,
                    help="normalized coordinate used for every parameter")
     p.set_defaults(func=cmd_netlist)
+
+    p = sub.add_parser(
+        "lint", help="static analysis: ERC, config checks, codelint")
+    p.add_argument("targets", nargs="*",
+                   help="task names (ota/tia/ldo; lints the netlist at "
+                        "--point) or SPICE deck files")
+    p.add_argument("--point", type=float, default=0.5,
+                   help="normalized coordinate for task-netlist targets")
+    p.add_argument("--config", action="store_true",
+                   help="cross-validate the tuned MAOptConfig "
+                        "(with --task/--sims/--init when given)")
+    p.add_argument("--task", default=None,
+                   help="task whose design space --config checks against")
+    p.add_argument("--sims", type=int, default=None,
+                   help="simulation budget for --config cross-checks")
+    p.add_argument("--init", type=int, default=None,
+                   help="initial-set size for --config cross-checks")
+    p.add_argument("--code", metavar="PATH", action="append", default=[],
+                   help="run the repo-invariant AST linter over PATH "
+                        "(file or directory; repeatable)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="text report or one JSON object per finding")
+    p.add_argument("--select", action="append", default=[],
+                   metavar="PREFIX",
+                   help="keep only rules matching this id prefix "
+                        "(repeatable, e.g. 'erc' or 'erc.no-dc-path')")
+    p.add_argument("--ignore", action="append", default=[],
+                   metavar="PREFIX",
+                   help="drop rules matching this id prefix (repeatable)")
+    p.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -32,6 +32,7 @@ from typing import Any, Iterable
 
 import numpy as np
 
+from repro.analysis.configlint import check_config, validate_config
 from repro.core.config import MAOptConfig
 from repro.core.fom import FigureOfMerit
 from repro.core.near_sampling import near_sampling_proposal
@@ -59,6 +60,12 @@ class MAOptimizer:
         # (`is None` check: an empty RunLogger is falsy via __len__.)
         self.run_log = (self.obs.run_logger
                         if self.obs.run_logger is not None else RunLogger())
+        # Config cross-validation (repro.analysis.configlint): errors that
+        # are knowable without the simulation budget raise here, before any
+        # state is built; warnings become config_warning run events.
+        for diag in validate_config(self.config, task=task):
+            self.run_log.emit("config_warning", rule=diag.rule,
+                              message=diag.message, fix=diag.fix)
         self.rng = np.random.default_rng(self.config.seed)
         self.fom = FigureOfMerit(task)
         n_metrics = task.m + 1
@@ -305,6 +312,14 @@ class MAOptimizer:
         name = method_name or self._default_name()
         self.run_log.emit("run_start", method=name, task=self.task.name,
                           n_sims=n_sims)
+        # Budget-aware config checks: logged, never raised — a deliberate
+        # tiny-budget run (tests, smoke runs) must not be blocked here.
+        n_have = len(self.total.foms) if self._initialized else n_init
+        for diag in check_config(self.config, task=self.task,
+                                 n_sims=n_sims, n_init=n_have):
+            self.run_log.emit("config_warning", rule=diag.rule,
+                              severity=str(diag.severity),
+                              message=diag.message, fix=diag.fix)
         with self.obs.span("run", method=name, task=self.task.name):
             with self._executor:
                 if not self._initialized:

@@ -13,6 +13,13 @@ pickling overhead are excluded — and the timings feed the
 ``sim_latency_s`` histogram, the ``sims_total{kind=...}`` counter, and the
 executor's :attr:`~SimulationExecutor.batch_timings` log.
 
+**ERC gate** (:mod:`repro.analysis.erc`): tasks exposing ``lint_design``
+(the circuit tasks) have every design electrically rule-checked before it
+is dispatched.  Designs with error-severity findings never reach the
+simulator: they are charged the task's penalty metrics, counted under
+``lint_rejections_total{kind=...}``, and logged as ``lint_rejected`` run
+events.  Pass ``lint_gate=False`` to opt out.
+
 **Failure policy** (:mod:`repro.resilience.policy`): pass a
 :class:`~repro.core.config.ResilienceConfig` and every simulation runs
 under the retry/backoff/quarantine loop — identically in the caller (serial
@@ -108,16 +115,21 @@ class SimulationExecutor:
 
     def __init__(self, task: SizingTask, n_workers: int = 0,
                  telemetry: Telemetry | None = None,
-                 resilience: ResilienceConfig | None = None) -> None:
+                 resilience: ResilienceConfig | None = None,
+                 lint_gate: bool = True) -> None:
         if n_workers < 0:
             raise ValueError("n_workers must be >= 0")
         self.task = task
         self.n_workers = n_workers
         self.obs = telemetry or NULL_TELEMETRY
         self.policy = resilience
+        self.lint_gate = lint_gate
         self.batch_timings: list[BatchTiming] = []
         #: Per-design outcomes of the most recent policy-path batch.
         self.last_outcomes: list[SimOutcome] = []
+        #: Per-design ERC findings of the most recent gated batch
+        #: (design index -> list of error diagnostics).
+        self.last_lint_rejections: dict[int, list] = {}
         self._pool: mp.pool.Pool | None = None
 
     # -- pool lifecycle ------------------------------------------------------
@@ -152,6 +164,18 @@ class SimulationExecutor:
         if designs.size == 0:
             return np.empty((0, self.task.m + 1))
         designs = np.atleast_2d(designs)
+        rejected = self._lint_rejections(designs, kind)
+        if rejected:
+            keep = [i for i in range(len(designs)) if i not in rejected]
+            metrics = np.tile(penalty_metrics(self.task), (len(designs), 1))
+            if keep:
+                metrics[keep] = self._simulate_batch(designs[keep], kind)
+            return metrics
+        return self._simulate_batch(designs, kind)
+
+    def _simulate_batch(self, designs: np.ndarray,
+                        kind: str) -> np.ndarray:
+        """The post-gate simulation path (spans, timings, counters)."""
         use_pool = self.n_workers > 0 and len(designs) > 1
         t_batch = time.perf_counter()
         with self.obs.span("simulate", n=len(designs), kind=kind,
@@ -169,6 +193,38 @@ class SimulationExecutor:
         for dt in durations:
             self.obs.observe("sim_latency_s", dt, kind=kind)
         return metrics
+
+    def _lint_rejections(self, designs: np.ndarray,
+                         kind: str) -> dict[int, list]:
+        """ERC-gate a batch: error-severity designs never reach simulation.
+
+        Returns ``{design index -> error diagnostics}`` for the designs to
+        reject; the caller substitutes the task's penalty metrics so the
+        optimizer sees a decisively bad (but finite) evaluation instead of
+        burning simulation budget on a netlist that cannot work.  Disabled
+        via ``lint_gate=False`` or when the task has no ``lint_design``.
+        """
+        lint = getattr(self.task, "lint_design", None)
+        if not self.lint_gate or lint is None:
+            self.last_lint_rejections = {}
+            return {}
+        from repro.analysis.diagnostics import Severity
+
+        rejected: dict[int, list] = {}
+        for i, u in enumerate(designs):
+            errors = [d for d in lint(u) if d.severity >= Severity.ERROR]
+            if errors:
+                rejected[i] = errors
+        self.last_lint_rejections = rejected
+        if rejected:
+            self.obs.inc("lint_rejections_total", len(rejected), kind=kind)
+            if self.obs.run_logger is not None:
+                for i, errors in rejected.items():
+                    self.obs.run_logger.emit(
+                        "lint_rejected", kind=kind, design_index=i,
+                        rules=sorted({d.rule for d in errors}),
+                        first=errors[0].message)
+        return rejected
 
     def _plain_batch(self, designs: np.ndarray, use_pool: bool
                      ) -> tuple[np.ndarray, list[float]]:

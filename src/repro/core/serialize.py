@@ -104,7 +104,10 @@ def load_result(path: str | pathlib.Path) -> OptimizationResult:
             raise ValueError(
                 f"unsupported result format version {version}")
         if version == 1:
-            with np.load(path, allow_pickle=True) as legacy:
+            # v1 archives stored object-dtype kinds; only this legacy
+            # branch may unpickle.
+            with np.load(path,  # repro: ignore[code.pickle]
+                         allow_pickle=True) as legacy:
                 kinds = [str(k) for k in legacy["kinds"]]
         else:
             kinds = [str(k) for k in data["kinds"]]

@@ -1,105 +1,20 @@
-"""Netlist sanity checks (topology lint).
+"""Deprecated shim — the netlist lint moved to :mod:`repro.analysis.erc`.
 
-Catches the classic "matrix is singular and I don't know why" mistakes
-before any analysis runs:
+This module kept an undeclared :mod:`networkx` dependency alive; the
+checks now run on an in-tree union-find and emit structured
+:class:`~repro.analysis.diagnostics.Diagnostic` findings.  The two legacy
+entry points re-export unchanged (same signatures, same message strings):
 
-* no ground reference anywhere,
-* floating nodes (touched by fewer than two element terminals),
-* nodes with no DC path to ground (capacitor-isolated islands),
-* loops of ideal voltage sources (including through inductors, which are
-  DC shorts).
+* :func:`lint_circuit` — list of human-readable warning strings;
+* :func:`assert_clean` — raises :class:`~repro.spice.exceptions.NetlistError`.
 
-Returns human-readable warning strings; :func:`assert_clean` raises
-instead.  Uses :mod:`networkx` for the graph work.
+New code should import from :mod:`repro.analysis.erc` (or use
+``ma-opt lint`` on the command line), which additionally exposes rule ids,
+severities, and device-level checks.
 """
 
 from __future__ import annotations
 
-import networkx as nx
+from repro.analysis.erc import assert_clean, lint_circuit, run_erc
 
-from repro.spice.elements import (
-    Capacitor,
-    CurrentSource,
-    Inductor,
-    VoltageSource,
-)
-from repro.spice.exceptions import NetlistError
-from repro.spice.netlist import Circuit
-
-GROUND = "0"
-
-
-def _canonical_nodes(circuit: Circuit, element) -> list[str]:
-    return [circuit._canon(n) for n in element.node_names]
-
-
-def lint_circuit(circuit: Circuit) -> list[str]:
-    """Run all checks; returns a list of warnings (empty = clean)."""
-    warnings: list[str] = []
-    if not circuit.elements:
-        return ["circuit has no elements"]
-
-    # -- ground reference ---------------------------------------------------
-    all_nodes: set[str] = set()
-    touch_count: dict[str, int] = {}
-    for elem in circuit.elements:
-        for node in _canonical_nodes(circuit, elem):
-            all_nodes.add(node)
-            touch_count[node] = touch_count.get(node, 0) + 1
-    if GROUND not in all_nodes:
-        warnings.append("no ground reference ('0'/'gnd') in the circuit")
-
-    # -- floating nodes ------------------------------------------------------
-    for node, count in sorted(touch_count.items()):
-        if node != GROUND and count < 2:
-            warnings.append(f"node {node!r} is floating "
-                            f"(touched by only {count} terminal)")
-
-    # -- DC path to ground ----------------------------------------------------
-    # Capacitors (and current sources) provide no DC path.
-    dc_graph = nx.Graph()
-    dc_graph.add_nodes_from(all_nodes)
-    for elem in circuit.elements:
-        if isinstance(elem, Capacitor | CurrentSource):
-            continue
-        nodes = _canonical_nodes(circuit, elem)
-        # Conservative: treat every element as connecting all its terminals
-        # for DC purposes (true for R/L/V/E/G; MOSFETs conduct d-s and the
-        # gate is handled below).
-        from repro.spice.elements import Mosfet
-
-        if isinstance(elem, Mosfet):
-            d, g, s, b = nodes
-            dc_graph.add_edge(d, s)
-            dc_graph.add_edge(s, b)
-            # The gate is DC-isolated; do not add an edge for it.
-            continue
-        for a, b_ in zip(nodes, nodes[1:]):
-            dc_graph.add_edge(a, b_)
-    if GROUND in dc_graph:
-        reachable = nx.node_connected_component(dc_graph, GROUND)
-        for node in sorted(all_nodes - reachable):
-            warnings.append(f"node {node!r} has no DC path to ground")
-
-    # -- voltage-source loops ---------------------------------------------------
-    v_graph = nx.MultiGraph()
-    for elem in circuit.elements:
-        if isinstance(elem, VoltageSource | Inductor):
-            a, b = _canonical_nodes(circuit, elem)
-            v_graph.add_edge(a, b, name=elem.name)
-    try:
-        cycle = nx.find_cycle(v_graph)
-    except nx.NetworkXNoCycle:
-        cycle = None
-    if cycle:
-        names = [v_graph.get_edge_data(u, v)[k]["name"] for u, v, k in cycle]
-        warnings.append(
-            "loop of ideal voltage sources/inductors: " + ", ".join(names))
-    return warnings
-
-
-def assert_clean(circuit: Circuit) -> None:
-    """Raise :class:`NetlistError` listing every lint warning, if any."""
-    warnings = lint_circuit(circuit)
-    if warnings:
-        raise NetlistError("netlist lint failed:\n  " + "\n  ".join(warnings))
+__all__ = ["lint_circuit", "assert_clean", "run_erc"]

@@ -137,6 +137,23 @@ class Circuit:
             added.append(self.add(clone))
         return added
 
+    def canonical_node(self, node: str) -> str:
+        """Public canonical spelling of a node name (``"gnd"``/``"GND"`` ->
+        ``"0"``, everything else unchanged).  Static analyses use this
+        instead of reaching into the private name table."""
+        return self._canon(node)
+
+    def connectivity(self) -> list[tuple["Element", tuple[str, ...]]]:
+        """Element-terminal connectivity with canonical node names.
+
+        Returns one ``(element, canonical_nodes)`` pair per element in
+        insertion order — the public traversal surface for topology
+        checks (:mod:`repro.analysis.erc`) and other netlist-walking
+        tools.
+        """
+        return [(elem, tuple(self._canon(n) for n in elem.node_names))
+                for elem in self.elements]
+
     # -- lookup ---------------------------------------------------------------
     def __contains__(self, name: str) -> bool:
         return name in self._by_name

@@ -1,0 +1,108 @@
+"""Tests for the ``repro lint`` CLI command."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+BROKEN_DECK = """\
+V1 a 0 DC 1.8
+V2 a 0 DC 3.3
+R1 a dangle 1k
+.end
+"""
+
+CLEAN_DECK = """\
+V1 in 0 DC 1
+R1 in out 1k
+R2 out 0 1k
+.end
+"""
+
+
+@pytest.fixture
+def broken_deck(tmp_path):
+    path = tmp_path / "broken.sp"
+    path.write_text(BROKEN_DECK, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def clean_deck(tmp_path):
+    path = tmp_path / "clean.sp"
+    path.write_text(CLEAN_DECK, encoding="utf-8")
+    return str(path)
+
+
+class TestDeckTargets:
+    def test_broken_deck_exits_one(self, broken_deck, capsys):
+        assert main(["lint", broken_deck]) == 1
+        out = capsys.readouterr().out
+        assert "erc.vsource-loop" in out
+        assert "erc.floating-node" in out
+        assert "error(s)" in out
+
+    def test_clean_deck_exits_zero(self, clean_deck, capsys):
+        assert main(["lint", clean_deck]) == 0
+        assert "clean: no findings" in capsys.readouterr().out
+
+    def test_shipped_example_is_broken(self, capsys):
+        example = (pathlib.Path(__file__).resolve().parents[2]
+                   / "examples" / "broken_netlist.sp")
+        assert main(["lint", str(example)]) == 1
+        out = capsys.readouterr().out
+        for rule in ("erc.vsource-loop", "erc.floating-node",
+                     "erc.no-dc-path", "erc.unit-suffix"):
+            assert rule in out
+
+    def test_json_format(self, broken_deck, capsys):
+        assert main(["lint", broken_deck, "--format", "json"]) == 1
+        records = [json.loads(line)
+                   for line in capsys.readouterr().out.splitlines()]
+        assert all(r["target"] == broken_deck for r in records)
+        assert {"erc.vsource-loop", "erc.floating-node"} \
+            <= {r["rule"] for r in records}
+
+    def test_select_and_ignore(self, broken_deck, capsys):
+        # Ignoring every firing rule leaves nothing -> exit 0.
+        assert main(["lint", broken_deck, "--ignore", "erc"]) == 0
+        assert main(["lint", broken_deck,
+                     "--select", "erc.floating-node"]) == 1
+        out = capsys.readouterr().out
+        assert "erc.vsource-loop" not in out
+
+
+class TestTaskTargets:
+    def test_paper_tasks_lint_clean(self, capsys):
+        assert main(["lint", "ota", "tia", "ldo"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("clean: no findings") == 3
+        assert "== ota ==" in out
+
+    def test_unknown_target_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "rfmixer"])
+        assert excinfo.value.code == 2
+
+
+class TestConfigAndCode:
+    def test_config_mode(self, capsys):
+        assert main(["lint", "--config", "--task", "ota",
+                     "--sims", "200", "--init", "100"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_code_mode_on_fixture(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import pickle\n", encoding="utf-8")
+        assert main(["lint", "--code", str(bad)]) == 1
+        assert "code.pickle" in capsys.readouterr().out
+
+    def test_code_mode_missing_path(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "--code", "/no/such/path"])
+
+    def test_nothing_to_lint_exits_two(self, capsys):
+        assert main(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err

@@ -1,0 +1,74 @@
+"""Tests for the union-find / cycle-detection machinery behind the ERC."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.graph import UnionFind, bfs_path, find_cycle
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(4)
+        assert not uf.connected(0, 1)
+        assert uf.find(3) == 3
+
+    def test_union_merges_and_reports(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.union(1, 2)
+        assert not uf.union(0, 2)   # already joined
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_component_mask(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(3, 4)
+        assert list(uf.component_mask(0)) == [True, True, False, False,
+                                              False]
+        assert list(uf.component_mask(4)) == [False, False, False, True,
+                                              True]
+
+    def test_large_chain_stays_correct(self):
+        n = 2000
+        uf = UnionFind(n)
+        for i in range(n - 1):
+            uf.union(i, i + 1)
+        assert uf.connected(0, n - 1)
+        assert int(uf.size[uf.find(0)]) == n
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+
+class TestBfsPath:
+    ADJ = {0: [(1, "a")], 1: [(0, "a"), (2, "b")], 2: [(1, "b")]}
+
+    def test_path_labels(self):
+        assert bfs_path(self.ADJ, 0, 2) == ["a", "b"]
+
+    def test_same_node_is_empty_path(self):
+        assert bfs_path(self.ADJ, 1, 1) == []
+
+    def test_unreachable_is_none(self):
+        assert bfs_path(self.ADJ, 0, 9) is None
+
+
+class TestFindCycle:
+    def test_no_edges(self):
+        assert find_cycle([]) is None
+
+    def test_tree_has_no_cycle(self):
+        assert find_cycle([(0, 1, "e1"), (1, 2, "e2"), (0, 3, "e3")]) is None
+
+    def test_triangle(self):
+        cycle = find_cycle([(0, 1, "e1"), (1, 2, "e2"), (2, 0, "e3")])
+        assert sorted(cycle) == ["e1", "e2", "e3"]
+        assert cycle[-1] == "e3"   # the edge that closed the loop is last
+
+    def test_parallel_edges_are_a_cycle(self):
+        assert find_cycle([(0, 1, "V1"), (0, 1, "V2")]) == ["V1", "V2"]
+
+    def test_self_loop_ignored(self):
+        assert find_cycle([(0, 0, "V1"), (0, 1, "V2")]) is None

@@ -1,0 +1,55 @@
+"""``repro.bench`` — deterministic performance benchmarking & regression
+gating.
+
+The counterpart to :mod:`repro.obs`: where telemetry answers "where did
+*this* run spend its time", the bench subsystem answers "did the code get
+slower *between* runs".  Four pieces:
+
+* **registry** (:mod:`repro.bench.registry`): named, tiered benchmarks
+  whose inputs derive entirely from a seeded generator;
+* **runner** (:mod:`repro.bench.runner`): warmup + repeats, wall/CPU time,
+  tracemalloc peak memory, optional cProfile hotspots, machine
+  fingerprint;
+* **schema** (:mod:`repro.bench.schema`): versioned JSON result documents
+  (written to ``benchmarks/results/perf/``) plus the repo-root
+  ``BENCH_core.json`` trajectory (:mod:`repro.bench.trajectory`);
+* **compare** (:mod:`repro.bench.compare`): per-benchmark relative
+  thresholds with the 0-ok / 1-regression / 2-usage exit-code convention.
+
+CLI: ``ma-opt bench run|compare|list``.  Reference: ``docs/benchmarking.md``.
+"""
+
+from repro.bench.compare import (DEFAULT_THRESHOLD, compare_results,
+                                 exit_code, has_regressions, render_rows)
+from repro.bench.registry import (REGISTRY, Benchmark, BenchmarkRegistry,
+                                  builtin_registry)
+from repro.bench.runner import (bench_rng, render_result, run_benchmark,
+                                run_benchmarks)
+from repro.bench.schema import (SCHEMA_VERSION, build_result, load_result,
+                                machine_fingerprint, save_result,
+                                validate_result)
+from repro.bench.trajectory import append_entry, load_trajectory
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkRegistry",
+    "DEFAULT_THRESHOLD",
+    "REGISTRY",
+    "SCHEMA_VERSION",
+    "append_entry",
+    "bench_rng",
+    "build_result",
+    "builtin_registry",
+    "compare_results",
+    "exit_code",
+    "has_regressions",
+    "load_result",
+    "load_trajectory",
+    "machine_fingerprint",
+    "render_result",
+    "render_rows",
+    "run_benchmark",
+    "run_benchmarks",
+    "save_result",
+    "validate_result",
+]

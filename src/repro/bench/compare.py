@@ -1,0 +1,115 @@
+"""Regression comparator for bench result documents.
+
+Compares the ``wall_s.min`` of each benchmark (minimum-of-repeats is the
+standard noise-robust estimator: scheduling jitter only ever adds time)
+against a baseline, with a per-benchmark relative threshold:
+
+    delta = (current - baseline) / max(baseline, MIN_BASE_S)
+
+``MIN_BASE_S`` floors the denominator so a zero/near-zero baseline (timer
+resolution, trivially fast benchmark) cannot turn nanosecond jitter into
+a million-percent regression.
+
+Statuses per benchmark:
+
+* ``ok`` — within threshold;
+* ``faster`` — improved past the threshold (never fails the gate);
+* ``regression`` — slower than ``threshold``;
+* ``new`` — in current only (no baseline to gate against; never fails);
+* ``missing`` — in baseline only: the benchmark silently disappeared,
+  which gates exactly like a regression (a deleted bench must be deleted
+  from the baseline too).
+
+Exit-code convention (shared with ``ma-opt lint``): 0 ok, 1 regression,
+2 usage error (unreadable/invalid input) — raised as ``ValueError`` by
+:func:`repro.bench.schema.load_result` and mapped to 2 by the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: Default relative regression threshold (+35 % on min wall time).
+DEFAULT_THRESHOLD = 0.35
+
+#: Relative-comparison floor: baselines below this are compared as if they
+#: took this long (60 µs ~ a few thousand timer granules).
+MIN_BASE_S = 60e-6
+
+_FAILING = ("regression", "missing")
+
+
+def _by_name(doc: dict) -> dict[str, dict]:
+    return {entry["name"]: entry for entry in doc.get("benchmarks", [])}
+
+
+def compare_results(baseline: dict, current: dict,
+                    threshold: float = DEFAULT_THRESHOLD,
+                    per_bench: Mapping[str, float] | None = None,
+                    ) -> list[dict]:
+    """Diff two result documents; returns one row per benchmark name.
+
+    ``threshold`` is the default allowed relative slowdown (0.35 = +35 %);
+    ``per_bench`` maps benchmark names to overriding thresholds.  Rows
+    carry ``name/status/base_s/cur_s/delta/threshold`` and are ordered:
+    failures first, then by name.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    per_bench = dict(per_bench or {})
+    base = _by_name(baseline)
+    cur = _by_name(current)
+    rows: list[dict] = []
+    for name in sorted(set(base) | set(cur)):
+        limit = per_bench.get(name, threshold)
+        if limit < 0:
+            raise ValueError(f"threshold for {name!r} must be >= 0")
+        row = {"name": name, "threshold": limit,
+               "base_s": None, "cur_s": None, "delta": None}
+        if name not in cur:
+            row.update(status="missing",
+                       base_s=float(base[name]["wall_s"]["min"]))
+        elif name not in base:
+            row.update(status="new",
+                       cur_s=float(cur[name]["wall_s"]["min"]))
+        else:
+            b = float(base[name]["wall_s"]["min"])
+            c = float(cur[name]["wall_s"]["min"])
+            delta = (c - b) / max(b, MIN_BASE_S)
+            status = "ok"
+            if delta > limit:
+                status = "regression"
+            elif delta < -limit:
+                status = "faster"
+            row.update(status=status, base_s=b, cur_s=c, delta=delta)
+        rows.append(row)
+    rows.sort(key=lambda r: (r["status"] not in _FAILING, r["name"]))
+    return rows
+
+
+def has_regressions(rows: list[dict]) -> bool:
+    return any(r["status"] in _FAILING for r in rows)
+
+
+def exit_code(rows: list[dict], warn_only: bool = False) -> int:
+    """0 when clean (or ``warn_only``), 1 when any row gates."""
+    return 1 if has_regressions(rows) and not warn_only else 0
+
+
+def render_rows(rows: list[dict]) -> str:
+    """ASCII comparison table, failures first."""
+    if not rows:
+        return "bench compare: no benchmarks in either result"
+    header = (f"{'benchmark':<28} {'status':<11} {'baseline':>10} "
+              f"{'current':>10} {'delta':>8} {'limit':>7}")
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        base = "-" if r["base_s"] is None else f"{r['base_s']:.6f}"
+        cur = "-" if r["cur_s"] is None else f"{r['cur_s']:.6f}"
+        delta = "-" if r["delta"] is None else f"{100 * r['delta']:+.1f}%"
+        lines.append(f"{r['name']:<28} {r['status']:<11} {base:>10} "
+                     f"{cur:>10} {delta:>8} {100 * r['threshold']:>6.0f}%")
+    n_bad = sum(r["status"] in _FAILING for r in rows)
+    lines.append(f"{n_bad} failing / {len(rows)} compared"
+                 if n_bad else f"ok: {len(rows)} benchmarks within limits")
+    return "\n".join(lines)

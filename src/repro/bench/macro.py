@@ -1,0 +1,70 @@
+"""Built-in macro benchmarks: end-to-end ``MAOptimizer.run`` timings.
+
+Each payload runs a small-budget optimization with its own
+:class:`~repro.obs.Tracer` attached and returns the per-span wall-time
+breakdown (via :mod:`repro.obs.report`), so every macro entry's
+``extra["breakdown"]`` answers *where* the end-to-end time went — the
+same table ``--trace-out`` prints for a real run.
+
+Budgets are deliberately tiny: macro benches exist to catch integration-
+level slowdowns (executor overhead, telemetry cost, round orchestration),
+not to re-measure the micro hot paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.registry import REGISTRY
+from repro.core.synthetic import ConstrainedSphere
+
+
+def _run_maopt(task, seed: int, n_sims: int, n_init: int) -> dict:
+    from repro.core.config import MAOptConfig
+    from repro.core.ma_opt import MAOptimizer
+    from repro.obs import Telemetry, Tracer
+    from repro.obs.report import breakdown
+
+    config = MAOptConfig(seed=seed, hidden=(16, 16), critic_steps=10,
+                         actor_steps=5, batch_size=16, n_elite=8,
+                         ns_samples=500)
+    tracer = Tracer()
+    opt = MAOptimizer(task, config, telemetry=Telemetry(tracer=tracer))
+    result = opt.run(n_sims=n_sims, n_init=n_init)
+    rows = [
+        {k: (round(v, 6) if isinstance(v, float) else v)
+         for k, v in row.items()}
+        for row in breakdown(tracer.to_rows())
+    ]
+    return {"breakdown": rows, "best_fom": result.best_fom,
+            "n_sims": len(result.records)}
+
+
+@REGISTRY.register(
+    "macro.run.sphere", repeats=2, warmup=0,
+    description="end-to-end MAOptimizer.run on the synthetic sphere "
+                "(24 sims + 16 init, small nets) with per-span breakdown")
+def _bench_run_sphere(rng: np.random.Generator):
+    task = ConstrainedSphere(d=8, seed=7)
+    seed = int(rng.integers(0, 2**31))
+
+    def payload():
+        return _run_maopt(task, seed, n_sims=24, n_init=16)
+
+    return payload
+
+
+@REGISTRY.register(
+    "macro.run.ota", repeats=1, warmup=0,
+    description="end-to-end MAOptimizer.run on the fast-fidelity OTA "
+                "(6 sims + 8 init, small nets) with per-span breakdown")
+def _bench_run_ota(rng: np.random.Generator):
+    from repro.circuits import TwoStageOTA
+
+    task = TwoStageOTA(fidelity="fast")
+    seed = int(rng.integers(0, 2**31))
+
+    def payload():
+        return _run_maopt(task, seed, n_sims=6, n_init=8)
+
+    return payload

@@ -1,0 +1,141 @@
+"""Benchmark registry: named, tiered, deterministic performance benchmarks.
+
+A :class:`Benchmark` packages a *setup* function that builds all inputs
+from an explicit :class:`numpy.random.Generator` and returns the payload
+callable the runner times.  Separating setup from payload keeps one-time
+construction (circuits, datasets, networks) out of the measured window,
+and deriving every input from the seeded generator makes a benchmark's
+inputs bit-identical across runs — the property regression gating relies
+on (see ``docs/benchmarking.md``).
+
+Names are dotted ids whose first segment is the tier (``micro.mna.solve``,
+``macro.run.sphere``); :meth:`BenchmarkRegistry.select` filters by id
+prefix with the same matching rule the static-analysis ``--select`` flag
+established.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+import numpy as np
+
+TIERS = ("micro", "macro")
+
+#: setup(rng) returns the payload to time, optionally paired with a
+#: cleanup callable: ``payload`` or ``(payload, cleanup)``.
+SetupFn = Callable[[np.random.Generator], Any]
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One registered benchmark (see module docstring).
+
+    ``repeats``/``warmup`` are per-benchmark defaults; the runner can
+    override both globally.  A payload that returns a ``dict`` has that
+    dict recorded under the result's ``extra`` field (macro benchmarks use
+    this to attach their per-span wall-time breakdown).
+    """
+
+    name: str
+    setup: SetupFn
+    description: str = ""
+    repeats: int = 5
+    warmup: int = 1
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.tier not in TIERS:
+            raise ValueError(
+                f"benchmark {self.name!r}: name must start with a tier "
+                f"segment ({'/'.join(TIERS)}), e.g. 'micro.mna.solve'")
+        if self.repeats < 1 or self.warmup < 0:
+            raise ValueError(
+                f"benchmark {self.name!r}: need repeats >= 1, warmup >= 0")
+
+    @property
+    def tier(self) -> str:
+        """``micro`` or ``macro`` — the name's first dotted segment."""
+        return self.name.split(".", 1)[0]
+
+
+class BenchmarkRegistry:
+    """Ordered, name-keyed collection of :class:`Benchmark` objects."""
+
+    def __init__(self) -> None:
+        self._benchmarks: dict[str, Benchmark] = {}
+
+    def add(self, benchmark: Benchmark) -> Benchmark:
+        if benchmark.name in self._benchmarks:
+            raise ValueError(f"benchmark {benchmark.name!r} already registered")
+        self._benchmarks[benchmark.name] = benchmark
+        return benchmark
+
+    def register(self, name: str, description: str = "", repeats: int = 5,
+                 warmup: int = 1, tags: Iterable[str] = ()
+                 ) -> Callable[[SetupFn], SetupFn]:
+        """Decorator form: ``@registry.register("micro.x.y", ...)`` above a
+        setup function."""
+
+        def decorator(setup: SetupFn) -> SetupFn:
+            self.add(Benchmark(name=name, setup=setup,
+                               description=description, repeats=repeats,
+                               warmup=warmup, tags=tuple(tags)))
+            return setup
+
+        return decorator
+
+    def get(self, name: str) -> Benchmark:
+        try:
+            return self._benchmarks[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown benchmark {name!r}; known: {sorted(self._benchmarks)}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return list(self._benchmarks)
+
+    def select(self, filters: Iterable[str] = ()) -> list[Benchmark]:
+        """Benchmarks whose dotted id matches any prefix in ``filters``.
+
+        A prefix matches the whole id or a dotted-segment boundary
+        (``micro.mna`` matches ``micro.mna.solve`` but not
+        ``micro.mnax.solve``).  No filters selects everything.
+        """
+        filters = [f for f in filters if f]
+        if not filters:
+            return list(self._benchmarks.values())
+        out = []
+        for bench in self._benchmarks.values():
+            for prefix in filters:
+                p = prefix.rstrip(".")
+                if bench.name == p or bench.name.startswith(p + "."):
+                    out.append(bench)
+                    break
+        return out
+
+    def __len__(self) -> int:
+        return len(self._benchmarks)
+
+    def __iter__(self) -> Iterator[Benchmark]:
+        return iter(self._benchmarks.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._benchmarks
+
+
+#: The process-wide default registry the built-in suites register into.
+REGISTRY = BenchmarkRegistry()
+
+
+def builtin_registry() -> BenchmarkRegistry:
+    """The default registry with the built-in micro + macro suites loaded.
+
+    The suite modules register on first import; calling this twice is
+    idempotent.
+    """
+    from repro.bench import macro, micro  # noqa: F401  (import = register)
+
+    return REGISTRY

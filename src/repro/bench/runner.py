@@ -1,0 +1,184 @@
+"""Deterministic benchmark runner (wall + CPU time, peak memory, profile).
+
+Measurement protocol, per benchmark:
+
+1. ``setup(rng)`` builds all inputs from a generator seeded by
+   ``(seed, crc32(name))`` — per-benchmark streams are independent of
+   registration order and of which other benchmarks run, so a filtered run
+   times *exactly* the same work as a full one.
+2. ``warmup`` untimed payload calls absorb one-time costs (allocator
+   growth, branch warmup).
+3. ``repeats`` timed calls: wall time via ``time.perf_counter`` (the
+   repo-wide ``t_wall`` clock convention) and CPU time via
+   ``time.process_time``.
+4. One extra *untimed* pass under :mod:`tracemalloc` records peak python
+   memory — tracemalloc slows allocation several-fold, so it never shares
+   a pass with the timers.
+5. With profiling enabled, one more untimed pass runs under
+   :mod:`cProfile` and the top-N cumulative hotspots land in the entry's
+   ``extra["hotspots"]``.
+
+Every benchmark feeds the attached telemetry bundle: a ``bench`` span per
+benchmark, a ``bench_runs_total`` counter, and ``bench_wall_s{bench=...}``
+observations — so ``--metrics-out`` captures bench sessions like any
+other run.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+import tracemalloc
+import zlib
+from typing import Callable
+
+import numpy as np
+
+from repro.bench.registry import Benchmark, BenchmarkRegistry
+from repro.bench.schema import build_result, stat_summary
+from repro.obs import NULL_TELEMETRY, Telemetry
+
+
+def bench_rng(name: str, seed: int) -> np.random.Generator:
+    """The generator benchmark ``name`` sees under ``seed``.
+
+    Keyed by ``(seed, crc32(name))``: stable across sessions and across
+    registry ordering, distinct per benchmark.
+    """
+    return np.random.default_rng([seed, zlib.crc32(name.encode("utf-8"))])
+
+
+def _resolve_payload(setup_result):
+    """``setup`` may return ``payload`` or ``(payload, cleanup)``."""
+    if (isinstance(setup_result, tuple) and len(setup_result) == 2
+            and callable(setup_result[0]) and callable(setup_result[1])):
+        return setup_result
+    if callable(setup_result):
+        return setup_result, None
+    raise TypeError("benchmark setup must return a callable payload "
+                    "(optionally paired with a cleanup callable)")
+
+
+def profile_payload(payload: Callable[[], object], top: int = 10
+                    ) -> list[dict]:
+    """Run ``payload`` once under cProfile; return the top-``top`` hotspots
+    by cumulative time as ``{"func", "ncalls", "tottime_s", "cumtime_s"}``
+    rows."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        payload()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    stats.sort_stats(pstats.SortKey.CUMULATIVE)
+    rows: list[dict] = []
+    for func in stats.fcn_list[:top]:  # (file, line, name), sorted
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, lineno, name = func
+        label = (f"{name}" if filename.startswith("~")
+                 else f"{filename}:{lineno}:{name}")
+        rows.append({"func": label, "ncalls": int(nc),
+                     "tottime_s": float(tt), "cumtime_s": float(ct)})
+    return rows
+
+
+def run_benchmark(bench: Benchmark, seed: int = 0,
+                  repeats: int | None = None, warmup: int | None = None,
+                  telemetry: Telemetry | None = None,
+                  profile: bool = False, profile_top: int = 10) -> dict:
+    """Measure one benchmark; returns a schema ``benchmarks[]`` entry."""
+    obs = telemetry or NULL_TELEMETRY
+    n_repeats = bench.repeats if repeats is None else max(1, repeats)
+    n_warmup = bench.warmup if warmup is None else max(0, warmup)
+    payload, cleanup = _resolve_payload(bench.setup(bench_rng(bench.name,
+                                                              seed)))
+    try:
+        with obs.span("bench", bench=bench.name, repeats=n_repeats):
+            for _ in range(n_warmup):
+                payload()
+            wall: list[float] = []
+            cpu: list[float] = []
+            last = None
+            for _ in range(n_repeats):
+                c0 = time.process_time()
+                t0 = time.perf_counter()
+                last = payload()
+                wall.append(time.perf_counter() - t0)
+                cpu.append(time.process_time() - c0)
+            tracemalloc.start()
+            try:
+                payload()
+                _current, peak = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+            extra: dict = dict(last) if isinstance(last, dict) else {}
+            if profile:
+                extra["hotspots"] = profile_payload(payload, top=profile_top)
+    finally:
+        if cleanup is not None:
+            cleanup()
+    obs.inc("bench_runs_total")
+    obs.observe("bench_wall_s", min(wall), bench=bench.name)
+    obs.observe("bench_cpu_s", min(cpu), bench=bench.name)
+    return {
+        "name": bench.name,
+        "tier": bench.tier,
+        "description": bench.description,
+        "repeats": n_repeats,
+        "warmup": n_warmup,
+        "wall_s": stat_summary(wall),
+        "cpu_s": stat_summary(cpu),
+        "peak_mem_kb": round(peak / 1024.0, 3),
+        "extra": extra,
+    }
+
+
+def run_benchmarks(registry: BenchmarkRegistry, filters=(), seed: int = 0,
+                   repeats: int | None = None, warmup: int | None = None,
+                   telemetry: Telemetry | None = None,
+                   profile: bool = False, profile_top: int = 10,
+                   progress: Callable[[str], None] | None = None) -> dict:
+    """Run every selected benchmark; returns a schema-valid result document.
+
+    ``filters`` are dotted-id prefixes (see
+    :meth:`~repro.bench.registry.BenchmarkRegistry.select`); ``repeats`` /
+    ``warmup`` override the per-benchmark defaults when given.
+    ``progress`` (e.g. ``print``) is called with a one-line summary after
+    each benchmark.
+    """
+    selected = registry.select(filters)
+    if not selected:
+        raise ValueError(
+            f"no benchmarks match filters {list(filters)!r}; "
+            f"known: {registry.names()}")
+    entries: list[dict] = []
+    for bench in selected:
+        entry = run_benchmark(bench, seed=seed, repeats=repeats,
+                              warmup=warmup, telemetry=telemetry,
+                              profile=profile, profile_top=profile_top)
+        entries.append(entry)
+        if progress is not None:
+            progress(f"{bench.name:<28s} wall {entry['wall_s']['min']:.6f}s "
+                     f"cpu {entry['cpu_s']['min']:.6f}s "
+                     f"peak {entry['peak_mem_kb']:.0f}kB")
+    return build_result(entries, seed=seed)
+
+
+def render_result(doc: dict) -> str:
+    """ASCII table of a result document (mirrors ``repro.obs.report``)."""
+    header = (f"{'benchmark':<28} {'tier':<6} {'wall min':>10} "
+              f"{'wall mean':>10} {'cpu min':>10} {'peak kB':>9}")
+    lines = ["bench results "
+             f"(seed {doc.get('seed')}, {len(doc['benchmarks'])} benchmarks)",
+             header, "-" * len(header)]
+    for entry in doc["benchmarks"]:
+        lines.append(
+            f"{entry['name']:<28} {entry['tier']:<6} "
+            f"{entry['wall_s']['min']:>10.6f} {entry['wall_s']['mean']:>10.6f} "
+            f"{entry['cpu_s']['min']:>10.6f} {entry['peak_mem_kb']:>9.1f}")
+        for spot in entry.get("extra", {}).get("hotspots", [])[:5]:
+            lines.append(f"    {spot['cumtime_s']:>9.4f}s  {spot['func']}")
+    return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Versioned JSON schema for performance-benchmark results.
+
+A result document looks like::
+
+    {
+      "schema": "repro.bench/result",
+      "schema_version": 1,
+      "created_unix": 1754500000.0,
+      "seed": 0,
+      "repro_version": "1.0.0",
+      "machine": {"platform": ..., "python": ..., "numpy": ...,
+                  "cpu_count": ..., "arch": ...},
+      "benchmarks": [
+        {"name": "micro.mna.solve", "tier": "micro",
+         "repeats": 5, "warmup": 1,
+         "wall_s": {"values": [...], "min": ..., "mean": ...,
+                    "median": ..., "std": ...},
+         "cpu_s": {... same stats ...},
+         "peak_mem_kb": 183.4,
+         "extra": {}}
+      ]
+    }
+
+:func:`validate_result` returns a list of human-readable problems (empty
+means valid) so callers can distinguish "usage error" from "regression"
+under the 0/1/2 exit-code convention.  Documents are written
+deterministically (sorted keys) so diffs stay reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import time
+from typing import Any, Sequence
+
+import numpy as np
+
+SCHEMA_NAME = "repro.bench/result"
+SCHEMA_VERSION = 1
+
+
+def machine_fingerprint() -> dict[str, Any]:
+    """Environment the numbers were taken on — compared, not gated, by the
+    regression tooling (cross-machine timing diffs are advisory)."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 0,
+        "arch": platform.machine(),
+    }
+
+
+def stat_summary(values: Sequence[float]) -> dict[str, Any]:
+    """Raw samples plus the summary statistics the comparator reads."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("stat_summary needs at least one sample")
+    return {
+        "values": [float(v) for v in arr],
+        "min": float(arr.min()),
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "std": float(arr.std()),
+    }
+
+
+def build_result(benchmarks: list[dict], seed: int,
+                 created_unix: float | None = None) -> dict:
+    """Assemble a schema-valid result document from benchmark entries."""
+    from repro import __version__
+
+    return {
+        "schema": SCHEMA_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": (time.time() if created_unix is None
+                         else float(created_unix)),
+        "seed": int(seed),
+        "repro_version": __version__,
+        "machine": machine_fingerprint(),
+        "benchmarks": benchmarks,
+    }
+
+
+_STAT_KEYS = ("values", "min", "mean", "median", "std")
+
+
+def _check_stats(problems: list[str], where: str, stats: Any) -> None:
+    if not isinstance(stats, dict):
+        problems.append(f"{where}: expected a stats object, got "
+                        f"{type(stats).__name__}")
+        return
+    for key in _STAT_KEYS:
+        if key not in stats:
+            problems.append(f"{where}: missing {key!r}")
+    values = stats.get("values")
+    if isinstance(values, list):
+        if not values:
+            problems.append(f"{where}: empty sample list")
+        for v in values:
+            if not isinstance(v, (int, float)) or v < 0:
+                problems.append(f"{where}: bad sample {v!r}")
+                break
+    elif values is not None:
+        problems.append(f"{where}: 'values' must be a list")
+
+
+def validate_result(doc: Any) -> list[str]:
+    """All schema problems in ``doc`` (empty list = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, expected an object"]
+    if doc.get("schema") != SCHEMA_NAME:
+        problems.append(f"schema is {doc.get('schema')!r}, "
+                        f"expected {SCHEMA_NAME!r}")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version is {doc.get('schema_version')!r}; this build "
+            f"reads version {SCHEMA_VERSION}")
+    if not isinstance(doc.get("machine"), dict):
+        problems.append("missing machine fingerprint")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list):
+        problems.append("'benchmarks' must be a list")
+        return problems
+    seen: set[str] = set()
+    for i, entry in enumerate(benches):
+        where = f"benchmarks[{i}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing name")
+        elif name in seen:
+            problems.append(f"{where}: duplicate name {name!r}")
+        else:
+            seen.add(name)
+        _check_stats(problems, f"{where}.wall_s", entry.get("wall_s"))
+        _check_stats(problems, f"{where}.cpu_s", entry.get("cpu_s"))
+    return problems
+
+
+def ensure_valid(doc: Any, source: str = "result") -> dict:
+    """Return ``doc`` if schema-valid, else raise ``ValueError``."""
+    problems = validate_result(doc)
+    if problems:
+        raise ValueError(f"invalid bench {source}: " + "; ".join(problems))
+    return doc
+
+
+def save_result(doc: dict, path: str | pathlib.Path) -> pathlib.Path:
+    """Validate and write ``doc`` as deterministic, indented JSON."""
+    ensure_valid(doc)
+    path = pathlib.Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_result(path: str | pathlib.Path) -> dict:
+    """Load and validate a result document written by :func:`save_result`."""
+    path = pathlib.Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path} is not valid JSON: {exc}") from exc
+    return ensure_valid(doc, source=str(path))

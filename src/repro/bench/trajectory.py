@@ -1,0 +1,64 @@
+"""The ``BENCH_core.json`` trajectory file: bench history across PRs.
+
+One repo-root JSON document accumulates a condensed entry per bench
+session (created time, seed, machine platform, min wall seconds per
+benchmark), newest last, capped at :data:`MAX_ENTRIES`.  Future perf PRs
+gate against the previous entry with ``ma-opt bench compare`` and append
+their own — the file *is* the repo's performance trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+TRAJECTORY_SCHEMA = "repro.bench/trajectory"
+TRAJECTORY_VERSION = 1
+MAX_ENTRIES = 200
+
+
+def condense(result: dict) -> dict:
+    """One trajectory entry from a full result document."""
+    return {
+        "created_unix": result.get("created_unix"),
+        "seed": result.get("seed"),
+        "repro_version": result.get("repro_version"),
+        "platform": result.get("machine", {}).get("platform"),
+        "wall_min_s": {
+            entry["name"]: entry["wall_s"]["min"]
+            for entry in result.get("benchmarks", [])
+        },
+    }
+
+
+def load_trajectory(path: str | pathlib.Path) -> dict:
+    """Load a trajectory file, or a fresh empty document if absent."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return {"schema": TRAJECTORY_SCHEMA,
+                "schema_version": TRAJECTORY_VERSION, "entries": []}
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if (doc.get("schema") != TRAJECTORY_SCHEMA
+            or doc.get("schema_version") != TRAJECTORY_VERSION
+            or not isinstance(doc.get("entries"), list)):
+        raise ValueError(f"{path} is not a version-{TRAJECTORY_VERSION} "
+                         "bench trajectory file")
+    return doc
+
+
+def append_entry(path: str | pathlib.Path, result: dict,
+                 max_entries: int = MAX_ENTRIES) -> dict:
+    """Append ``result`` (condensed) to the trajectory at ``path``.
+
+    Creates the file if needed, truncates to the newest ``max_entries``,
+    and returns the updated document.
+    """
+    path = pathlib.Path(path)
+    doc = load_trajectory(path)
+    doc["entries"].append(condense(result))
+    doc["entries"] = doc["entries"][-max_entries:]
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return doc

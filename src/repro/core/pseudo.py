@@ -53,11 +53,38 @@ def pseudo_sample_batch(
     return inputs, targets
 
 
+def _sample_pairs_without_replacement(n: int, k: int,
+                                      rng: np.random.Generator
+                                      ) -> tuple[np.ndarray, np.ndarray]:
+    """``k`` distinct (i, j) pairs from the n*n grid, never materializing it.
+
+    Pairs are drawn as flat codes ``i * n + j``.  When ``k`` is a large
+    fraction of n^2, a permutation of the codes is cheapest; otherwise
+    rejection sampling (draw extra, unique, subsample) converges in one or
+    two rounds because the hit rate is high.
+    """
+    n_sq = n * n
+    if 2 * k >= n_sq:
+        codes = rng.permutation(n_sq)[:k]
+    else:
+        codes = np.unique(rng.integers(0, n_sq, size=2 * k))
+        while codes.size < k:
+            more = rng.integers(0, n_sq, size=2 * (k - codes.size) + 8)
+            codes = np.unique(np.concatenate([codes, more]))
+        codes = rng.permutation(codes)[:k]
+    return codes // n, codes % n
+
+
 def all_pseudo_samples(total: TotalDesignSet,
                        max_pairs: int | None = None,
                        rng: np.random.Generator | None = None
                        ) -> tuple[np.ndarray, np.ndarray]:
     """Materialize the full N^2 pseudo-sample set (or a random subset).
+
+    With ``max_pairs`` below N^2, a uniform subset of distinct pairs is
+    drawn directly — the N^2 index grid is never built — and ``rng`` must
+    be given explicitly (subsampling is a stochastic operation; an ambient
+    generator would silently break reproducibility).
 
     Useful for offline critic fitting and for tests; training normally uses
     :func:`pseudo_sample_batch` instead.
@@ -67,13 +94,16 @@ def all_pseudo_samples(total: TotalDesignSet,
         raise ValueError("cannot build pseudo-samples from an empty set")
     designs = total.designs
     metrics = total.metrics
-    ii, jj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
-    ii, jj = ii.ravel(), jj.ravel()
-    if max_pairs is not None and ii.size > max_pairs:
+    if max_pairs is not None and max_pairs < n * n:
         if rng is None:
-            rng = np.random.default_rng()
-        keep = rng.choice(ii.size, size=max_pairs, replace=False)
-        ii, jj = ii[keep], jj[keep]
+            raise ValueError("max_pairs subsampling needs an explicit rng "
+                             "(pass a numpy Generator)")
+        if max_pairs < 1:
+            raise ValueError("max_pairs must be >= 1")
+        ii, jj = _sample_pairs_without_replacement(n, max_pairs, rng)
+    else:
+        ii = np.repeat(np.arange(n), n)
+        jj = np.tile(np.arange(n), n)
     xi = designs[ii]
     xj = designs[jj]
     return np.concatenate([xi, xj - xi], axis=1), metrics[jj]

@@ -34,6 +34,11 @@ class Element:
 
     n_branches = 0
     is_nonlinear = False
+    # The element's stamp_ac is affine in omega: Re(A) omega-independent,
+    # Im(A) proportional to omega, RHS constant.  True for every built-in
+    # element; an exotic element (lossy line, frequency-dependent model)
+    # must set False so ac_analysis falls back to per-frequency assembly.
+    ac_affine = True
 
     def __init__(self, name: str, nodes: tuple[str, ...]) -> None:
         self.name = name

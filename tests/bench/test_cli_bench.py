@@ -1,0 +1,143 @@
+"""Tests for ``ma-opt bench run|compare|list`` (flow and exit codes)."""
+
+import json
+
+import pytest
+
+from repro.bench import load_result, load_trajectory, save_result
+from repro.bench.schema import build_result, stat_summary
+from repro.cli import main
+
+FAST = ["--repeats", "1", "--warmup", "0", "--filter", "micro.pseudo.batch"]
+
+
+def _doc(wall):
+    entry = {"name": "micro.pseudo.batch", "tier": "micro",
+             "description": "", "repeats": 1, "warmup": 0,
+             "wall_s": stat_summary([wall]), "cpu_s": stat_summary([wall]),
+             "peak_mem_kb": 1.0, "extra": {}}
+    return build_result([entry], seed=0, created_unix=0.0)
+
+
+class TestBenchList:
+    def test_text(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "micro.mna.solve" in out
+        assert "macro.run.sphere" in out
+
+    def test_json_filtered(self, capsys):
+        assert main(["bench", "list", "--filter", "micro.pseudo",
+                     "--format", "json"]) == 0
+        rows = [json.loads(line)
+                for line in capsys.readouterr().out.splitlines()]
+        assert {r["name"] for r in rows} == \
+            {"micro.pseudo.batch", "micro.pseudo.all"}
+        assert all(r["tier"] == "micro" for r in rows)
+
+
+class TestBenchRun:
+    def test_writes_result_and_trajectory(self, tmp_path, capsys):
+        out = tmp_path / "perf" / "latest.json"
+        traj = tmp_path / "BENCH_core.json"
+        rc = main(["bench", "run", *FAST, "--out", str(out),
+                   "--trajectory", str(traj)])
+        assert rc == 0
+        doc = load_result(out)  # raises if schema-invalid
+        assert [e["name"] for e in doc["benchmarks"]] == \
+            ["micro.pseudo.batch"]
+        entries = load_trajectory(traj)["entries"]
+        assert len(entries) == 1
+        assert "micro.pseudo.batch" in entries[0]["wall_min_s"]
+        assert "wall min" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        rc = main(["bench", "run", *FAST, "--out", "",
+                   "--no-trajectory", "--format", "json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.bench/result"
+
+    def test_unknown_filter_exits_2(self, tmp_path, capsys):
+        rc = main(["bench", "run", "--filter", "nope", "--out", "",
+                   "--no-trajectory"])
+        assert rc == 2
+        assert "no benchmarks match" in capsys.readouterr().err
+
+    def test_metrics_out_captures_bench_session(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        rc = main(["bench", "run", *FAST, "--out", "", "--no-trajectory",
+                   "--metrics-out", str(metrics)])
+        assert rc == 0
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]["bench_runs_total"] == 1.0
+        assert "bench_wall_s{bench=micro.pseudo.batch}" in snap["histograms"]
+
+
+class TestBenchCompare:
+    def test_ok_exit_0(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        save_result(_doc(1.0), base)
+        assert main(["bench", "compare", str(base), str(base)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_exit_1(self, tmp_path, capsys):
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        save_result(_doc(1.0), base)
+        save_result(_doc(2.0), cur)
+        assert main(["bench", "compare", str(base), str(cur)]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_warn_only_exit_0(self, tmp_path):
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        save_result(_doc(1.0), base)
+        save_result(_doc(2.0), cur)
+        assert main(["bench", "compare", str(base), str(cur),
+                     "--warn-only"]) == 0
+
+    def test_threshold_flag(self, tmp_path):
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        save_result(_doc(1.0), base)
+        save_result(_doc(2.0), cur)
+        assert main(["bench", "compare", str(base), str(cur),
+                     "--threshold", "150"]) == 0
+
+    def test_threshold_for_flag(self, tmp_path):
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        save_result(_doc(1.0), base)
+        save_result(_doc(2.0), cur)
+        assert main(["bench", "compare", str(base), str(cur),
+                     "--threshold-for", "micro.pseudo.batch=150"]) == 0
+
+    def test_bad_threshold_for_exits_2(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        save_result(_doc(1.0), base)
+        assert main(["bench", "compare", str(base), str(base),
+                     "--threshold-for", "garbage"]) == 2
+        assert "NAME=PERCENT" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        save_result(_doc(1.0), base)
+        rc = main(["bench", "compare", str(tmp_path / "nope.json"),
+                   str(base)])
+        assert rc == 2
+        assert capsys.readouterr().err
+
+    def test_invalid_schema_exits_2(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        bad = tmp_path / "bad.json"
+        save_result(_doc(1.0), base)
+        bad.write_text(json.dumps({"schema": "other"}), encoding="utf-8")
+        assert main(["bench", "compare", str(base), str(bad)]) == 2
+
+    def test_json_rows(self, tmp_path, capsys):
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        save_result(_doc(1.0), base)
+        save_result(_doc(2.0), cur)
+        assert main(["bench", "compare", str(base), str(cur),
+                     "--format", "json"]) == 1
+        rows = [json.loads(line)
+                for line in capsys.readouterr().out.splitlines()]
+        assert rows[0]["status"] == "regression"
+        assert rows[0]["delta"] == pytest.approx(1.0)

@@ -1,0 +1,114 @@
+"""Unit tests for the regression comparator: edge cases and exit codes."""
+
+import pytest
+
+from repro.bench import (compare_results, exit_code, has_regressions,
+                         render_rows)
+from repro.bench.compare import MIN_BASE_S
+from repro.bench.schema import build_result, stat_summary
+
+
+def _doc(**wall_min):
+    """Result document with one benchmark per kwarg (value = min wall s)."""
+    entries = [
+        {"name": name, "tier": name.split(".", 1)[0], "description": "",
+         "repeats": 1, "warmup": 0, "wall_s": stat_summary([w]),
+         "cpu_s": stat_summary([w]), "peak_mem_kb": 1.0, "extra": {}}
+        for name, w in wall_min.items()
+    ]
+    return build_result(entries, seed=0, created_unix=0.0)
+
+
+def _row(rows, name):
+    return next(r for r in rows if r["name"] == name)
+
+
+class TestStatuses:
+    def test_ok_faster_regression(self):
+        base = _doc(**{"micro.a": 1.0, "micro.b": 1.0, "micro.c": 1.0})
+        cur = _doc(**{"micro.a": 1.1, "micro.b": 0.5, "micro.c": 1.5})
+        rows = compare_results(base, cur, threshold=0.35)
+        assert _row(rows, "micro.a")["status"] == "ok"
+        assert _row(rows, "micro.b")["status"] == "faster"
+        assert _row(rows, "micro.c")["status"] == "regression"
+        assert has_regressions(rows)
+
+    def test_missing_from_current_gates(self):
+        rows = compare_results(_doc(**{"micro.gone": 1.0}), _doc())
+        assert rows[0]["status"] == "missing"
+        assert exit_code(rows) == 1
+
+    def test_new_in_current_never_fails(self):
+        rows = compare_results(_doc(), _doc(**{"micro.new": 1.0}))
+        assert rows[0]["status"] == "new"
+        assert exit_code(rows) == 0
+
+    def test_failures_sorted_first(self):
+        base = _doc(**{"micro.a": 1.0, "micro.z": 1.0})
+        cur = _doc(**{"micro.a": 1.0, "micro.z": 9.0})
+        rows = compare_results(base, cur)
+        assert rows[0]["name"] == "micro.z"
+
+
+class TestThresholds:
+    def test_boundary_is_inclusive(self):
+        """delta exactly at the limit is ok; just above gates.
+
+        Uses a binary-exact threshold (0.25) so the boundary really is hit.
+        """
+        base = _doc(**{"micro.a": 1.0})
+        at = compare_results(base, _doc(**{"micro.a": 1.25}), threshold=0.25)
+        above = compare_results(base, _doc(**{"micro.a": 1.2500001}),
+                                threshold=0.25)
+        assert at[0]["status"] == "ok"
+        assert above[0]["status"] == "regression"
+
+    def test_zero_baseline_floored(self):
+        """A ~0s baseline must not turn jitter into a huge regression."""
+        base = _doc(**{"micro.tiny": 0.0})
+        cur = _doc(**{"micro.tiny": 0.2 * MIN_BASE_S})
+        rows = compare_results(base, cur, threshold=0.35)
+        assert rows[0]["status"] == "ok"
+        assert rows[0]["delta"] == pytest.approx(0.2)
+
+    def test_near_zero_baseline_real_regression_still_gates(self):
+        base = _doc(**{"micro.tiny": 0.5 * MIN_BASE_S})
+        cur = _doc(**{"micro.tiny": 100 * MIN_BASE_S})
+        rows = compare_results(base, cur, threshold=0.35)
+        assert rows[0]["status"] == "regression"
+
+    def test_per_bench_override(self):
+        base = _doc(**{"micro.a": 1.0, "micro.b": 1.0})
+        cur = _doc(**{"micro.a": 1.5, "micro.b": 1.5})
+        rows = compare_results(base, cur, threshold=0.35,
+                               per_bench={"micro.a": 0.6})
+        assert _row(rows, "micro.a")["status"] == "ok"
+        assert _row(rows, "micro.b")["status"] == "regression"
+
+    def test_negative_threshold_raises(self):
+        with pytest.raises(ValueError):
+            compare_results(_doc(), _doc(), threshold=-0.1)
+        with pytest.raises(ValueError):
+            compare_results(_doc(**{"micro.a": 1.0}),
+                            _doc(**{"micro.a": 1.0}),
+                            per_bench={"micro.a": -1.0})
+
+
+class TestExitAndRender:
+    def test_warn_only(self):
+        rows = compare_results(_doc(**{"micro.a": 1.0}),
+                               _doc(**{"micro.a": 9.0}))
+        assert exit_code(rows) == 1
+        assert exit_code(rows, warn_only=True) == 0
+
+    def test_render_empty(self):
+        assert "no benchmarks" in render_rows([])
+
+    def test_render_table(self):
+        base = _doc(**{"micro.a": 1.0, "micro.gone": 1.0})
+        cur = _doc(**{"micro.a": 2.0, "micro.new": 1.0})
+        text = render_rows(compare_results(base, cur))
+        assert "regression" in text
+        assert "missing" in text
+        assert "new" in text
+        assert "failing" in text

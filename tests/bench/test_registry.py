@@ -1,0 +1,91 @@
+"""Unit tests for the benchmark registry."""
+
+import pytest
+
+from repro.bench import Benchmark, BenchmarkRegistry, builtin_registry
+
+
+def _noop_setup(rng):
+    def payload():
+        return None
+    return payload
+
+
+class TestBenchmark:
+    def test_tier_from_name(self):
+        b = Benchmark(name="micro.mna.solve", setup=_noop_setup)
+        assert b.tier == "micro"
+        assert Benchmark(name="macro.run.x", setup=_noop_setup).tier == "macro"
+
+    def test_bad_tier_raises(self):
+        with pytest.raises(ValueError, match="tier"):
+            Benchmark(name="nano.mna.solve", setup=_noop_setup)
+
+    def test_bad_counts_raise(self):
+        with pytest.raises(ValueError):
+            Benchmark(name="micro.x", setup=_noop_setup, repeats=0)
+        with pytest.raises(ValueError):
+            Benchmark(name="micro.x", setup=_noop_setup, warmup=-1)
+
+
+class TestRegistry:
+    def test_add_get_contains(self):
+        reg = BenchmarkRegistry()
+        b = reg.add(Benchmark(name="micro.a", setup=_noop_setup))
+        assert reg.get("micro.a") is b
+        assert "micro.a" in reg
+        assert len(reg) == 1
+
+    def test_duplicate_raises(self):
+        reg = BenchmarkRegistry()
+        reg.add(Benchmark(name="micro.a", setup=_noop_setup))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.add(Benchmark(name="micro.a", setup=_noop_setup))
+
+    def test_unknown_get_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            BenchmarkRegistry().get("micro.nope")
+
+    def test_register_decorator(self):
+        reg = BenchmarkRegistry()
+
+        @reg.register("micro.deco", description="d", repeats=2, warmup=0)
+        def setup(rng):
+            return _noop_setup(rng)
+
+        b = reg.get("micro.deco")
+        assert b.setup is setup
+        assert (b.repeats, b.warmup, b.description) == (2, 0, "d")
+
+    def test_select_prefix_boundary(self):
+        reg = BenchmarkRegistry()
+        for name in ("micro.mna.solve", "micro.mnax.solve", "macro.run.a"):
+            reg.add(Benchmark(name=name, setup=_noop_setup))
+        assert [b.name for b in reg.select(["micro.mna"])] == \
+            ["micro.mna.solve"]
+        assert [b.name for b in reg.select(["micro.mna.solve"])] == \
+            ["micro.mna.solve"]
+        assert len(reg.select(["micro"])) == 2
+        assert len(reg.select([])) == 3
+        assert reg.select(["nope"]) == []
+
+    def test_select_multiple_filters_no_duplicates(self):
+        reg = BenchmarkRegistry()
+        reg.add(Benchmark(name="micro.a.b", setup=_noop_setup))
+        got = reg.select(["micro", "micro.a"])
+        assert [b.name for b in got] == ["micro.a.b"]
+
+
+class TestBuiltinRegistry:
+    def test_builtin_suites_registered(self):
+        reg = builtin_registry()
+        names = reg.names()
+        assert "micro.mna.solve" in names
+        assert "micro.spice.ac-sweep" in names
+        assert "micro.pseudo.all" in names
+        assert "macro.run.sphere" in names
+        tiers = {b.tier for b in reg}
+        assert tiers == {"micro", "macro"}
+
+    def test_idempotent(self):
+        assert builtin_registry() is builtin_registry()

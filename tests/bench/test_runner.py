@@ -1,0 +1,176 @@
+"""Unit tests for the benchmark runner: determinism, measurement, telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (Benchmark, BenchmarkRegistry, bench_rng,
+                         render_result, run_benchmark, run_benchmarks,
+                         validate_result)
+from repro.obs import MetricsRegistry, Telemetry
+
+
+def _recording_registry(captured):
+    """A registry whose setups record the inputs they derive from the rng."""
+    reg = BenchmarkRegistry()
+
+    @reg.register("micro.rec.a", repeats=2, warmup=1)
+    def _a(rng):
+        vals = rng.uniform(size=8)
+        captured.setdefault("micro.rec.a", []).append(vals)
+
+        def payload():
+            return {"checksum": float(vals.sum())}
+
+        return payload
+
+    @reg.register("micro.rec.b", repeats=2, warmup=0)
+    def _b(rng):
+        vals = rng.normal(size=4)
+        captured.setdefault("micro.rec.b", []).append(vals)
+
+        def payload():
+            return None
+
+        return payload
+
+    return reg
+
+
+class TestDeterminism:
+    def test_bench_rng_stable_and_distinct(self):
+        a1 = bench_rng("micro.x", 0).uniform(size=4)
+        a2 = bench_rng("micro.x", 0).uniform(size=4)
+        b = bench_rng("micro.y", 0).uniform(size=4)
+        other_seed = bench_rng("micro.x", 1).uniform(size=4)
+        np.testing.assert_array_equal(a1, a2)
+        assert not np.array_equal(a1, b)
+        assert not np.array_equal(a1, other_seed)
+
+    def test_same_seed_same_inputs(self):
+        captured = {}
+        reg = _recording_registry(captured)
+        run_benchmarks(reg, seed=7)
+        run_benchmarks(reg, seed=7)
+        for name in ("micro.rec.a", "micro.rec.b"):
+            first, second = captured[name]
+            np.testing.assert_array_equal(first, second)
+
+    def test_filtered_run_sees_identical_inputs(self):
+        """A filtered run must time exactly the work of a full run."""
+        captured = {}
+        reg = _recording_registry(captured)
+        run_benchmarks(reg, seed=3)
+        run_benchmarks(reg, filters=["micro.rec.b"], seed=3)
+        first, second = captured["micro.rec.b"]
+        np.testing.assert_array_equal(first, second)
+
+
+class TestRunBenchmark:
+    def test_entry_shape_and_extra(self):
+        captured = {}
+        reg = _recording_registry(captured)
+        entry = run_benchmark(reg.get("micro.rec.a"), seed=0)
+        assert entry["name"] == "micro.rec.a"
+        assert entry["tier"] == "micro"
+        assert entry["repeats"] == 2
+        assert len(entry["wall_s"]["values"]) == 2
+        assert len(entry["cpu_s"]["values"]) == 2
+        assert entry["peak_mem_kb"] >= 0
+        assert "checksum" in entry["extra"]
+
+    def test_overrides(self):
+        reg = _recording_registry({})
+        entry = run_benchmark(reg.get("micro.rec.a"), repeats=4, warmup=0)
+        assert entry["repeats"] == 4
+        assert entry["warmup"] == 0
+        assert len(entry["wall_s"]["values"]) == 4
+
+    def test_cleanup_called_once(self):
+        calls = []
+        reg = BenchmarkRegistry()
+
+        @reg.register("micro.clean", repeats=1, warmup=0)
+        def _setup(rng):
+            def payload():
+                return None
+
+            def cleanup():
+                calls.append(1)
+
+            return payload, cleanup
+
+        run_benchmark(reg.get("micro.clean"))
+        assert calls == [1]
+
+    def test_cleanup_called_on_payload_error(self):
+        calls = []
+        reg = BenchmarkRegistry()
+
+        @reg.register("micro.boom", repeats=1, warmup=0)
+        def _setup(rng):
+            def payload():
+                raise RuntimeError("boom")
+
+            def cleanup():
+                calls.append(1)
+
+            return payload, cleanup
+
+        with pytest.raises(RuntimeError):
+            run_benchmark(reg.get("micro.boom"))
+        assert calls == [1]
+
+    def test_bad_setup_return_raises(self):
+        reg = BenchmarkRegistry()
+
+        @reg.register("micro.bad", repeats=1, warmup=0)
+        def _setup(rng):
+            return 42
+
+        with pytest.raises(TypeError, match="callable payload"):
+            run_benchmark(reg.get("micro.bad"))
+
+    def test_profile_hotspots(self):
+        reg = _recording_registry({})
+        entry = run_benchmark(reg.get("micro.rec.a"), profile=True,
+                              profile_top=3)
+        spots = entry["extra"]["hotspots"]
+        assert 0 < len(spots) <= 3
+        assert {"func", "ncalls", "tottime_s", "cumtime_s"} <= set(spots[0])
+
+    def test_telemetry_metrics(self):
+        metrics = MetricsRegistry()
+        reg = _recording_registry({})
+        run_benchmarks(reg, telemetry=Telemetry(metrics=metrics))
+        assert metrics.counter_value("bench_runs_total") == 2
+        stats = metrics.histogram_stats("bench_wall_s", bench="micro.rec.a")
+        assert stats["count"] == 1
+
+
+class TestRunBenchmarks:
+    def test_document_is_schema_valid(self):
+        reg = _recording_registry({})
+        doc = run_benchmarks(reg, seed=5)
+        assert validate_result(doc) == []
+        assert doc["seed"] == 5
+        assert [e["name"] for e in doc["benchmarks"]] == \
+            ["micro.rec.a", "micro.rec.b"]
+
+    def test_no_match_raises(self):
+        reg = _recording_registry({})
+        with pytest.raises(ValueError, match="no benchmarks match"):
+            run_benchmarks(reg, filters=["macro"])
+
+    def test_progress_callback(self):
+        lines = []
+        reg = _recording_registry({})
+        run_benchmarks(reg, progress=lines.append)
+        assert len(lines) == 2
+        assert "micro.rec.a" in lines[0]
+
+    def test_render_result(self):
+        reg = _recording_registry({})
+        doc = run_benchmarks(reg, profile=True)
+        text = render_result(doc)
+        assert "micro.rec.a" in text
+        assert "wall min" in text

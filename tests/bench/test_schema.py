@@ -1,0 +1,106 @@
+"""Unit tests for the bench result schema and (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.bench import (SCHEMA_VERSION, build_result, load_result,
+                         machine_fingerprint, save_result, validate_result)
+from repro.bench.schema import ensure_valid, stat_summary
+
+
+def _entry(name="micro.x", wall=(0.2, 0.3), cpu=(0.1, 0.2)):
+    return {
+        "name": name, "tier": name.split(".", 1)[0], "description": "",
+        "repeats": len(wall), "warmup": 1,
+        "wall_s": stat_summary(wall), "cpu_s": stat_summary(cpu),
+        "peak_mem_kb": 12.0, "extra": {},
+    }
+
+
+class TestStatSummary:
+    def test_stats(self):
+        s = stat_summary([0.2, 0.4])
+        assert s["min"] == pytest.approx(0.2)
+        assert s["mean"] == pytest.approx(0.3)
+        assert s["median"] == pytest.approx(0.3)
+        assert s["values"] == [0.2, 0.4]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stat_summary([])
+
+
+class TestValidate:
+    def test_valid_document(self):
+        doc = build_result([_entry()], seed=0, created_unix=123.0)
+        assert validate_result(doc) == []
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["created_unix"] == 123.0
+
+    def test_machine_fingerprint_keys(self):
+        fp = machine_fingerprint()
+        assert {"platform", "python", "numpy", "cpu_count", "arch"} \
+            <= set(fp)
+
+    def test_non_dict(self):
+        assert validate_result([1, 2]) != []
+
+    def test_wrong_schema_name_and_version(self):
+        doc = build_result([_entry()], seed=0)
+        doc["schema"] = "other/thing"
+        doc["schema_version"] = 99
+        problems = "; ".join(validate_result(doc))
+        assert "schema is" in problems
+        assert "schema_version" in problems
+
+    def test_duplicate_names(self):
+        doc = build_result([_entry("micro.x"), _entry("micro.x")], seed=0)
+        assert any("duplicate" in p for p in validate_result(doc))
+
+    def test_missing_stats(self):
+        bad = _entry()
+        del bad["wall_s"]["min"]
+        doc = build_result([bad], seed=0)
+        assert any("wall_s" in p for p in validate_result(doc))
+
+    def test_negative_sample(self):
+        bad = _entry()
+        bad["cpu_s"]["values"] = [-1.0]
+        doc = build_result([bad], seed=0)
+        assert any("bad sample" in p for p in validate_result(doc))
+
+    def test_ensure_valid_raises(self):
+        with pytest.raises(ValueError, match="invalid bench"):
+            ensure_valid({"schema": "nope"})
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        doc = build_result([_entry(), _entry("macro.y")], seed=3,
+                           created_unix=1.5)
+        path = tmp_path / "perf" / "result.json"
+        save_result(doc, path)
+        assert load_result(path) == doc
+
+    def test_save_rejects_invalid(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_result({"schema": "nope"}, tmp_path / "r.json")
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_result(p)
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        p = tmp_path / "wrong.json"
+        p.write_text(json.dumps({"schema": "other"}), encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_result(p)
+
+    def test_deterministic_serialization(self, tmp_path):
+        doc = build_result([_entry()], seed=0, created_unix=2.0)
+        a = save_result(doc, tmp_path / "a.json").read_text()
+        b = save_result(doc, tmp_path / "b.json").read_text()
+        assert a == b

@@ -1,0 +1,51 @@
+"""Unit tests for the BENCH_core.json trajectory file."""
+
+import json
+
+import pytest
+
+from repro.bench import append_entry, load_trajectory
+from repro.bench.schema import build_result, stat_summary
+from repro.bench.trajectory import TRAJECTORY_SCHEMA, condense
+
+
+def _doc(wall=0.5):
+    entry = {"name": "micro.a", "tier": "micro", "description": "",
+             "repeats": 1, "warmup": 0, "wall_s": stat_summary([wall]),
+             "cpu_s": stat_summary([wall]), "peak_mem_kb": 1.0, "extra": {}}
+    return build_result([entry], seed=4, created_unix=99.0)
+
+
+class TestTrajectory:
+    def test_condense(self):
+        c = condense(_doc(0.25))
+        assert c["seed"] == 4
+        assert c["created_unix"] == 99.0
+        assert c["wall_min_s"] == {"micro.a": 0.25}
+        assert c["platform"]
+
+    def test_fresh_document_when_absent(self, tmp_path):
+        doc = load_trajectory(tmp_path / "BENCH_core.json")
+        assert doc["schema"] == TRAJECTORY_SCHEMA
+        assert doc["entries"] == []
+
+    def test_append_creates_and_accumulates(self, tmp_path):
+        path = tmp_path / "nested" / "BENCH_core.json"
+        append_entry(path, _doc(0.5))
+        doc = append_entry(path, _doc(0.4))
+        assert len(doc["entries"]) == 2
+        assert doc["entries"][-1]["wall_min_s"]["micro.a"] == 0.4
+        assert load_trajectory(path) == doc
+
+    def test_truncation(self, tmp_path):
+        path = tmp_path / "BENCH_core.json"
+        for i in range(5):
+            doc = append_entry(path, _doc(float(i + 1)), max_entries=3)
+        assert len(doc["entries"]) == 3
+        assert doc["entries"][0]["wall_min_s"]["micro.a"] == 3.0
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "BENCH_core.json"
+        path.write_text(json.dumps({"schema": "other"}), encoding="utf-8")
+        with pytest.raises(ValueError, match="trajectory"):
+            load_trajectory(path)

@@ -65,6 +65,46 @@ class TestAllPairs:
     def test_subsampling_cap(self, total, rng):
         x, y = all_pseudo_samples(total, max_pairs=10, rng=rng)
         assert x.shape == (10, 8)
+        assert y.shape == (10, 3)
+
+    def test_subsampling_needs_rng(self, total):
+        with pytest.raises(ValueError, match="rng"):
+            all_pseudo_samples(total, max_pairs=10)
+
+    def test_cap_at_or_above_n_squared_needs_no_rng(self, total):
+        """No subsampling happens, so the ambient-rng guard must not fire."""
+        x, _ = all_pseudo_samples(total, max_pairs=36)
+        assert x.shape == (36, 8)
+        x, _ = all_pseudo_samples(total, max_pairs=1000)
+        assert x.shape == (36, 8)
+
+    def test_subsampled_pairs_distinct(self, total):
+        """Subsampling is without replacement: no (i, j) pair twice."""
+        rng = np.random.default_rng(3)
+        x, _ = all_pseudo_samples(total, max_pairs=30, rng=rng)
+        rows = {tuple(np.round(row, 12)) for row in x}
+        assert len(rows) == 30
+
+    def test_subsampling_deterministic(self, total):
+        a, ya = all_pseudo_samples(total, max_pairs=12,
+                                   rng=np.random.default_rng(11))
+        b, yb = all_pseudo_samples(total, max_pairs=12,
+                                   rng=np.random.default_rng(11))
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(ya, yb)
+
+    def test_large_fraction_subsample(self, total):
+        """2k >= n^2 takes the permutation path; still exact and distinct."""
+        rng = np.random.default_rng(5)
+        x, _ = all_pseudo_samples(total, max_pairs=35, rng=rng)
+        assert x.shape == (35, 8)
+        rows = {tuple(np.round(row, 12)) for row in x}
+        assert len(rows) == 35
+
+    def test_bad_max_pairs_raises(self, total):
+        with pytest.raises(ValueError, match="max_pairs"):
+            all_pseudo_samples(total, max_pairs=0,
+                               rng=np.random.default_rng(0))
 
     def test_identity_pairs_present(self, total):
         """The full pair set includes i==j 'no action' samples."""

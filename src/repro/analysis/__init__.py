@@ -11,20 +11,42 @@ own coding invariants, behind one ``ma-opt lint`` command:
 * :mod:`repro.analysis.configlint` — cross-field validation of
   :class:`~repro.core.config.MAOptConfig` / run plans / design spaces;
 * :mod:`repro.analysis.codelint` — AST linter enforcing repo invariants
-  (no global RNG, no pickle, no wall-clock in ``core/``, ...).
+  (no global RNG, no pickle, no wall-clock in ``core/``, ...);
+* :mod:`repro.analysis.rngflow` / :mod:`repro.analysis.concurrency` —
+  flow-sensitive passes over the shared dataflow core
+  (:mod:`repro.analysis.flow`): Generator provenance and worker-safety
+  of code submitted through :mod:`repro.core.parallel`;
+* :mod:`repro.analysis.shapes` — symbolic checks of the paper's
+  dimensional contracts (critic ``2d -> m+1``, actor ``d -> d``,
+  ``N_es`` bound, near-sampling box).
 
-All three emit the shared :class:`~repro.analysis.diagnostics.Diagnostic`
-model (rule id, severity, location, message, suggested fix) rendered as
-text or JSONL with ``--select``/``--ignore`` filtering and conventional
-exit codes.  See ``docs/static_analysis.md`` for the rule catalog.
+Deployment infrastructure: an incremental content-hash result cache
+(:mod:`repro.analysis.cache`), a committed baseline ratchet that freezes
+pre-existing findings while new ones hard-fail
+(:mod:`repro.analysis.baseline`), and a SARIF 2.1.0 renderer for GitHub
+code scanning (:mod:`repro.analysis.sarif`).
+
+All analyzers emit the shared
+:class:`~repro.analysis.diagnostics.Diagnostic` model (rule id,
+severity, location, message, suggested fix) rendered as text, JSONL or
+SARIF with ``--select``/``--ignore`` filtering and conventional exit
+codes.  See ``docs/static_analysis.md`` for the rule catalog.
 """
 
+from repro.analysis.baseline import Baseline, DEFAULT_BASELINE_PATH
+from repro.analysis.cache import (
+    AnalysisCache,
+    DEFAULT_CACHE_PATH,
+    analyzer_fingerprint,
+)
 from repro.analysis.codelint import (
     CODE_RULES,
     lint_file,
     lint_paths,
     lint_source,
 )
+from repro.analysis.concurrency import CONC_RULES
+from repro.analysis.concurrency import check_paths as check_concurrency
 from repro.analysis.configlint import (
     CFG_RULES,
     ConfigLintError,
@@ -53,18 +75,33 @@ from repro.analysis.erc import (
     lint_deck,
     run_erc,
 )
+from repro.analysis.rngflow import RNG_RULES
+from repro.analysis.rngflow import check_paths as check_rngflow
+from repro.analysis.sarif import render_sarif, to_sarif
+from repro.analysis.shapes import SHAPE_RULES, check_shapes
 
 __all__ = [
+    "AnalysisCache",
+    "Baseline",
     "CODE_RULES",
     "CFG_RULES",
+    "CONC_RULES",
     "ConfigLintError",
+    "DEFAULT_BASELINE_PATH",
+    "DEFAULT_CACHE_PATH",
     "Diagnostic",
     "ERC_RULES",
+    "RNG_RULES",
     "Rule",
     "RuleSet",
+    "SHAPE_RULES",
     "Severity",
+    "analyzer_fingerprint",
     "assert_clean",
+    "check_concurrency",
     "check_config",
+    "check_rngflow",
+    "check_shapes",
     "exit_code",
     "filter_diagnostics",
     "gate_errors",
@@ -77,16 +114,22 @@ __all__ = [
     "lint_source",
     "max_severity",
     "render_jsonl",
+    "render_sarif",
     "render_text",
     "run_erc",
     "sort_diagnostics",
+    "to_sarif",
     "validate_config",
 ]
 
+#: Catalogs of every analyzer, in documentation order.
+RULE_SETS = (ERC_RULES, CFG_RULES, CODE_RULES, RNG_RULES, CONC_RULES,
+             SHAPE_RULES)
+
 
 def all_rules():
-    """Every registered rule across the three analyzers (catalog order)."""
+    """Every registered rule across all analyzers (catalog order)."""
     out = []
-    for ruleset in (ERC_RULES, CFG_RULES, CODE_RULES):
+    for ruleset in RULE_SETS:
         out.extend(ruleset)
     return out

@@ -1,0 +1,145 @@
+"""Baseline / ratchet for lint findings.
+
+Turning an advisory linter into a CI gate on a repo with pre-existing
+findings normally forces a big-bang cleanup.  The ratchet avoids that:
+existing findings are recorded in a committed baseline file and
+tolerated; anything *not* in the baseline hard-fails.  The baseline can
+only shrink (re-running ``--update-baseline`` after a cleanup drops the
+fixed entries), so quality ratchets monotonically.
+
+Fingerprints are deliberately line-number independent — hashed from
+``rule | path | message-with-line-numbers-stripped`` — so an unrelated
+edit that shifts a frozen finding by a few lines does not resurrect it.
+Identical findings are disambiguated by count: a baseline entry with
+``count: 2`` tolerates at most two live occurrences of that fingerprint;
+a third is new.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import Diagnostic
+
+#: Default committed location, repo-root relative.
+DEFAULT_BASELINE_PATH = "lint-baseline.json"
+
+_SCHEMA_VERSION = 1
+
+_LINE_RE = re.compile(r":(\d+)\b")
+
+
+def _strip_line(location: str) -> str:
+    """``src/x.py:71`` -> ``src/x.py`` (keep findings stable under
+    unrelated edits that shift line numbers)."""
+    return _LINE_RE.sub("", location)
+
+
+def fingerprint(diag: Diagnostic) -> str:
+    """Line-number-independent identity of one finding."""
+    raw = f"{diag.rule}|{_strip_line(diag.location)}|{diag.message}"
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of screening live findings against a baseline."""
+
+    new: list[Diagnostic] = field(default_factory=list)
+    suppressed: list[Diagnostic] = field(default_factory=list)
+    #: Baseline fingerprints with no (or fewer) live findings — the
+    #: cleanup happened; ``--update-baseline`` will drop them.
+    stale: list[str] = field(default_factory=list)
+
+
+class Baseline:
+    """A committed map of tolerated finding fingerprints -> counts."""
+
+    def __init__(self, counts: dict[str, int] | None = None,
+                 meta: dict[str, str] | None = None):
+        self.counts: dict[str, int] = dict(counts or {})
+        #: fingerprint -> human-readable reminder of what it froze
+        self.meta: dict[str, str] = dict(meta or {})
+
+    # -- persistence ----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "Baseline":
+        """Load a baseline file; a missing file is an *empty* baseline
+        (every finding is new — the strictest gate)."""
+        p = pathlib.Path(path)
+        if not p.exists():
+            return cls()
+        data = json.loads(p.read_text(encoding="utf-8"))
+        if data.get("schema") != _SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported baseline schema {data.get('schema')!r} "
+                f"in {p}")
+        entries = data.get("findings", {})
+        counts = {fp: int(e["count"]) for fp, e in entries.items()}
+        meta = {fp: str(e.get("summary", "")) for fp, e in entries.items()}
+        return cls(counts=counts, meta=meta)
+
+    def save(self, path: str | pathlib.Path) -> None:
+        findings = {
+            fp: {"count": n, "summary": self.meta.get(fp, "")}
+            for fp, n in sorted(self.counts.items())
+        }
+        payload = {
+            "schema": _SCHEMA_VERSION,
+            "comment": ("Frozen pre-existing lint findings; new findings "
+                        "fail CI.  Regenerate with "
+                        "'ma-opt lint ... --update-baseline'."),
+            "findings": findings,
+        }
+        pathlib.Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+    # -- screening ------------------------------------------------------------
+
+    def apply(self, diagnostics) -> BaselineResult:
+        """Split live findings into new vs baseline-suppressed, and
+        report stale baseline capacity."""
+        result = BaselineResult()
+        seen: Counter[str] = Counter()
+        for diag in diagnostics:
+            fp = fingerprint(diag)
+            seen[fp] += 1
+            if seen[fp] <= self.counts.get(fp, 0):
+                result.suppressed.append(diag)
+            else:
+                result.new.append(diag)
+        for fp, allowed in sorted(self.counts.items()):
+            if seen.get(fp, 0) < allowed:
+                result.stale.append(fp)
+        return result
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics) -> "Baseline":
+        """Build the baseline that freezes exactly these findings."""
+        counts: Counter[str] = Counter()
+        meta: dict[str, str] = {}
+        for diag in diagnostics:
+            fp = fingerprint(diag)
+            counts[fp] += 1
+            meta.setdefault(
+                fp, f"{diag.rule} @ {_strip_line(diag.location)}: "
+                    f"{diag.message}")
+        return cls(counts=dict(counts), meta=meta)
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+
+__all__ = [
+    "Baseline",
+    "BaselineResult",
+    "DEFAULT_BASELINE_PATH",
+    "fingerprint",
+]

@@ -1,0 +1,166 @@
+"""Incremental result cache for the per-file analysis passes.
+
+Flow-sensitive linting re-parses and re-traverses every module on every
+run; on a repo that changes one file at a time that is almost all wasted
+work.  The cache maps ``(analyzer fingerprint, file content hash)`` to
+the serialized diagnostics the analyzer produced last time, so an
+unchanged file is a dictionary lookup instead of an AST walk.
+
+Key design points:
+
+* keys hash *content* (sha256), not mtimes — safe under checkouts,
+  touch(1) and CI clones;
+* the analyzer fingerprint folds in the analyzer name, its version tag
+  and the sorted rule catalog, so editing a rule's severity or adding a
+  rule invalidates every entry for that analyzer (and only that one);
+* the store is a single human-diffable JSON file
+  (:data:`DEFAULT_CACHE_PATH`), written atomically via rename;
+* corruption is never fatal: an unreadable store starts empty.
+
+Only per-file passes cache here.  Whole-program passes (the concurrency
+pass's call graph, the shape contracts) depend on *other* files'
+content, so a per-file key would be unsound for them — they always run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.analysis.diagnostics import Diagnostic, RuleSet
+
+#: Default store location, repo-root relative (git-ignored).
+DEFAULT_CACHE_PATH = ".ma-opt-lint-cache.json"
+
+#: Bump when the cache schema itself changes.
+_SCHEMA_VERSION = 1
+
+
+def content_hash(source: str) -> str:
+    """sha256 of a file's text (the per-file half of a cache key)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def analyzer_fingerprint(name: str, rules: RuleSet,
+                         version: str = "1") -> str:
+    """Stable hash of an analyzer's identity: its name, a manually bumped
+    version tag, and the full rule catalog (ids, severities,
+    descriptions).  Changing any rule invalidates that analyzer's
+    entries."""
+    h = hashlib.sha256()
+    h.update(f"{name}:{version}".encode())
+    for rule in sorted(rules, key=lambda r: r.id):
+        h.update(f"|{rule.id}:{int(rule.severity)}:{rule.description}"
+                 .encode())
+    return h.hexdigest()[:16]
+
+
+class AnalysisCache:
+    """Content-addressed store of per-file analysis results.
+
+    Usage::
+
+        cache = AnalysisCache.load(path)
+        diags = cache.get(fingerprint, source)
+        if diags is None:
+            diags = run_analyzer(source)
+            cache.put(fingerprint, source, diags)
+        ...
+        cache.save()
+
+    ``hits``/``misses`` counters make cache behaviour testable and let
+    the CLI report effectiveness.
+    """
+
+    def __init__(self, path: str | pathlib.Path = DEFAULT_CACHE_PATH,
+                 entries: dict[str, list[dict]] | None = None):
+        self.path = pathlib.Path(path)
+        self._entries: dict[str, list[dict]] = entries or {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+
+    # -- persistence ----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path = DEFAULT_CACHE_PATH
+             ) -> "AnalysisCache":
+        """Load a store; any corruption or version skew yields an empty
+        cache rather than an error."""
+        p = pathlib.Path(path)
+        entries: dict[str, list[dict]] = {}
+        try:
+            data = json.loads(p.read_text(encoding="utf-8"))
+            if data.get("schema") == _SCHEMA_VERSION and isinstance(
+                    data.get("entries"), dict):
+                entries = data["entries"]
+        except (OSError, ValueError):
+            pass
+        return cls(path=p, entries=entries)
+
+    def save(self) -> None:
+        """Atomically write the store (rename over the old file).  A
+        read-only location degrades to not caching, silently."""
+        if not self._dirty:
+            return
+        payload = json.dumps(
+            {"schema": _SCHEMA_VERSION, "entries": self._entries},
+            sort_keys=True, indent=0)
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.path.parent or pathlib.Path(".")),
+                prefix=self.path.name, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, self.path)
+            self._dirty = False
+        except OSError:
+            pass
+
+    # -- lookups --------------------------------------------------------------
+
+    @staticmethod
+    def _key(fingerprint: str, path: str, source: str) -> str:
+        # The path is part of the key because diagnostics embed
+        # ``path:line`` locations — identical content at two paths must
+        # not replay each other's findings.
+        return f"{fingerprint}:{path}:{content_hash(source)}"
+
+    def get(self, fingerprint: str, path: str, source: str
+            ) -> list[Diagnostic] | None:
+        """Cached diagnostics for (analyzer, path, content), or None."""
+        raw = self._entries.get(self._key(fingerprint, path, source))
+        if raw is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [Diagnostic.from_dict(d) for d in raw]
+
+    def put(self, fingerprint: str, path: str, source: str,
+            diagnostics: list[Diagnostic]) -> None:
+        self._entries[self._key(fingerprint, path, source)] = [
+            d.to_dict() for d in diagnostics]
+        self._dirty = True
+
+    def cached_call(self, fingerprint: str, path: str, source: str, run,
+                    ) -> list[Diagnostic]:
+        """``run(source, path) -> list[Diagnostic]`` through the cache."""
+        diags = self.get(fingerprint, path, source)
+        if diags is None:
+            diags = run(source, path)
+            self.put(fingerprint, path, source, diags)
+        return diags
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+__all__ = [
+    "AnalysisCache",
+    "DEFAULT_CACHE_PATH",
+    "analyzer_fingerprint",
+    "content_hash",
+]

@@ -1,0 +1,306 @@
+"""Flow-sensitive concurrency checks (rule ids ``flow.conc.*``).
+
+The parallel executor (:mod:`repro.core.parallel`) runs callables inside
+``spawn``-context pool workers.  Three whole classes of bug survive every
+serial test run and only detonate under a real pool:
+
+* a submitted closure captures mutable state the parent keeps writing —
+  each worker sees a pickled snapshot, the parent's writes are silently
+  lost (or, on a thread path, raced);
+* worker-side code writes module globals or telemetry registries — the
+  write lands in the *worker* process and never reaches the parent;
+* the submitted callable is a lambda / locally-defined function — the
+  ``spawn`` pool must pickle it, which fails at runtime.
+
+Worker-side functions are discovered two ways: syntactically (arguments
+of ``pool.map`` / ``starmap`` / ``apply_async`` / ``submit`` /
+``initializer=`` / ``Thread(target=...)`` call sites) and declaratively
+(functions decorated with :func:`repro.core.parallel.worker_side` — the
+annotation hook the executor module uses to mark its worker entry
+points).  Worker-side-ness propagates through the best-effort call graph,
+so a helper called from a worker is checked too.
+
+Suppression uses the shared ``# repro: ignore[rule-id]`` comment
+convention from :mod:`repro.analysis.codelint`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.codelint import _suppressed, _suppressions
+from repro.analysis.diagnostics import Diagnostic, RuleSet, Severity
+from repro.analysis.flow import (
+    CallGraph,
+    ModuleModel,
+    Scope,
+    build_module,
+    dotted_name,
+    iter_python_files,
+)
+
+CONC_RULES = RuleSet()
+CONC_RULES.add("flow.conc.closure-capture", Severity.ERROR,
+               "callable submitted to a pool/thread captures mutable "
+               "state the parent also writes")
+CONC_RULES.add("flow.conc.global-write", Severity.ERROR,
+               "worker-side code writes a module global or telemetry "
+               "registry (the write lands in the worker process)")
+CONC_RULES.add("flow.conc.unpicklable", Severity.ERROR,
+               "lambda or locally-defined function submitted on the "
+               "process-pool path (spawn workers must pickle it)")
+
+#: Pool/executor submission methods whose first positional argument is the
+#: callable shipped to another worker.
+_SUBMIT_METHODS = frozenset({
+    "map", "starmap", "imap", "imap_unordered",
+    "apply_async", "map_async", "starmap_async", "submit",
+})
+#: Constructors taking the callable as a ``target=``/``initializer=`` kwarg.
+_CTOR_KWARGS = {
+    "Thread": "target",
+    "Process": "target",
+    "Pool": "initializer",
+    "Timer": "function",
+}
+
+#: The marker decorator :mod:`repro.core.parallel` applies to its worker
+#: entry points; matched by (dotted-suffix) name.
+WORKER_MARKER = "worker_side"
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                     ast.DictComp, ast.SetComp)
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One callable shipped to concurrent execution."""
+
+    func: ast.expr          # the callable expression as written
+    call: ast.Call          # the submitting call
+    api: str                # e.g. 'pool.map', 'Thread'
+    kind: str               # 'pool' (pickling) or 'thread' (shared memory)
+    lineno: int
+
+
+def _submission_kind(callee: str) -> str:
+    """'thread' when the receiver is visibly a thread API, else 'pool'."""
+    return "thread" if "thread" in callee.lower() else "pool"
+
+
+def find_submissions(scope: Scope) -> list[Submission]:
+    """Concurrency submission call sites inside one scope."""
+    out: list[Submission] = []
+    for site in scope.calls:
+        callee = site.callee
+        if not callee:
+            continue
+        last = callee.split(".")[-1]
+        func: ast.expr | None = None
+        if last in _SUBMIT_METHODS and "." in callee:
+            if site.node.args:
+                func = site.node.args[0]
+        elif last in _CTOR_KWARGS:
+            wanted = _CTOR_KWARGS[last]
+            for kw in site.node.keywords:
+                if kw.arg == wanted:
+                    func = kw.value
+                    break
+        if func is not None:
+            out.append(Submission(
+                func=func, call=site.node, api=callee,
+                kind=_submission_kind(callee), lineno=site.lineno))
+    return out
+
+
+def _marked_worker_side(scope: Scope) -> bool:
+    return any(d == WORKER_MARKER or d.endswith("." + WORKER_MARKER)
+               for d in scope.decorators)
+
+
+def worker_roots(graph: CallGraph) -> list[tuple[Scope, str]]:
+    """(scope, why) for every directly worker-side function: marked with
+    the :data:`WORKER_MARKER` decorator or submitted to a pool API."""
+    roots: list[tuple[Scope, str]] = []
+    seen: set[int] = set()
+
+    def add(scope: Scope, why: str) -> None:
+        if id(scope) not in seen:
+            seen.add(id(scope))
+            roots.append((scope, why))
+
+    for mod in graph.modules:
+        for scope in mod.functions():
+            if _marked_worker_side(scope):
+                add(scope, "@worker_side")
+        for scope in mod.scopes:
+            for sub in find_submissions(scope):
+                name = dotted_name(sub.func)
+                if not name or "." in name:
+                    continue
+                target = graph.resolve_callee(scope, name)
+                if target is not None:
+                    add(target, sub.api)
+    return roots
+
+
+def _module_global_writes(scope: Scope, graph: CallGraph
+                          ) -> list[tuple[str, str, int]]:
+    """(name, how, lineno) for every module-global write in ``scope``."""
+    mod = graph.module_of(scope)
+    out: list[tuple[str, str, int]] = []
+    for name in sorted(scope.global_decls):
+        bindings = scope.bindings.get(name, ())
+        if bindings:
+            out.append((name, "global statement", bindings[0].lineno))
+    for mut in scope.mutations:
+        if mut.base in scope.global_decls:
+            continue  # already reported via the global statement
+        owner = scope.resolve(mut.base)
+        if owner is None or not owner.is_module:
+            continue
+        if owner is not mod.module_scope:
+            continue
+        binding = owner.bindings.get(mut.base, ())
+        if binding and all(b.kind == "import" for b in binding):
+            # Mutating an imported module's attribute is out of scope for
+            # this rule (and usually a constant/config read pattern).
+            continue
+        out.append((mut.base, f"in-place via .{mut.via}" if mut.via
+                    not in ("subscript", "attribute", "augassign")
+                    else mut.via, mut.lineno))
+    return out
+
+
+def _captured_parent_mutables(scope: Scope) -> list[tuple[str, Scope, int]]:
+    """Names ``scope`` reads from an enclosing *function* scope where that
+    owner both binds the name to a mutable literal (or mutates it) and is
+    not merely passing a parameter through."""
+    out: list[tuple[str, Scope, int]] = []
+    local = set(scope.bindings)
+    for name in sorted(scope.reads):
+        if name in local:
+            continue
+        owner = (scope.parent.resolve(name)
+                 if scope.parent is not None else None)
+        if owner is None or owner.is_module or owner is scope:
+            continue
+        mutated = name in owner.mutated_names() and any(
+            m.base == name for m in owner.mutations)
+        if not mutated:
+            continue
+        value = owner.last_value(name)
+        is_mutable = value is None or isinstance(value, _MUTABLE_LITERALS)
+        if is_mutable:
+            out.append((name, owner, scope.lineno))
+    return out
+
+
+def check_modules(modules: list[ModuleModel]) -> list[Diagnostic]:
+    """Run every ``flow.conc.*`` rule over a set of parsed modules."""
+    graph = CallGraph(modules)
+    findings: list[tuple[ModuleModel, int, Diagnostic]] = []
+
+    def emit(mod: ModuleModel, lineno: int, rule: str, message: str,
+             fix: str = "") -> None:
+        findings.append((mod, lineno, CONC_RULES.diag(
+            rule, message, location=f"{mod.path}:{lineno}", fix=fix)))
+
+    # -- unpicklable / closure-capture at the submission sites ---------------
+    for mod in modules:
+        for scope in mod.scopes:
+            for sub in find_submissions(scope):
+                name = dotted_name(sub.func)
+                is_lambda = isinstance(sub.func, ast.Lambda)
+                target: Scope | None = None
+                if name and "." not in name:
+                    owner = scope.resolve(name)
+                    if owner is not None and not owner.is_module:
+                        # Locally-defined function: find its scope.
+                        target = next(
+                            (c for c in owner.children if c.name == name),
+                            None)
+                if sub.kind == "pool" and (is_lambda or target is not None):
+                    what = ("lambda" if is_lambda
+                            else f"locally-defined function {name!r}")
+                    emit(mod, sub.lineno, "flow.conc.unpicklable",
+                         f"{what} submitted via {sub.api}() cannot be "
+                         f"pickled into spawn workers",
+                         fix="move the callable to module level")
+                if is_lambda:
+                    target = next(
+                        (c for c in scope.children
+                         if c.node is sub.func), None)
+                if target is not None:
+                    for cap, owner, _ in _captured_parent_mutables(target):
+                        emit(mod, sub.lineno, "flow.conc.closure-capture",
+                             f"callable {target.name!r} submitted via "
+                             f"{sub.api}() captures {cap!r}, which "
+                             f"{owner.name!r} also writes — workers see a "
+                             f"stale copy (pool) or race it (threads)",
+                             fix="pass the data as an argument and return "
+                                 "results instead of mutating captures")
+
+    # -- global writes anywhere worker-side ----------------------------------
+    roots = worker_roots(graph)
+    root_scopes = [s for s, _ in roots]
+    why: dict[int, str] = {id(s): w for s, w in roots}
+    for scope in graph.reachable_from(root_scopes):
+        mod = graph.module_of(scope)
+        reason = why.get(id(scope), "called from worker-side code")
+        for name, how, lineno in _module_global_writes(scope, graph):
+            emit(mod, lineno, "flow.conc.global-write",
+                 f"worker-side function {scope.name!r} ({reason}) writes "
+                 f"module global {name!r} ({how}); the write stays in the "
+                 f"worker process",
+                 fix="return the value to the parent instead of mutating "
+                     "shared module state")
+
+    # -- apply per-line suppressions per module ------------------------------
+    out: list[Diagnostic] = []
+    for mod, lineno, diag in findings:
+        suppressions = _suppressions(mod.source)
+        if not _suppressed(diag, lineno, suppressions):
+            out.append(diag)
+    return out
+
+
+def check_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+    """Run the concurrency pass over one module's source text."""
+    try:
+        modules = [build_module(source, path=path)]
+    except SyntaxError as exc:
+        return [Diagnostic(rule="code.syntax", severity=Severity.ERROR,
+                           message=f"syntax error: {exc.msg}",
+                           location=f"{path}:{exc.lineno or 0}")]
+    return check_modules(modules)
+
+
+def check_paths(paths) -> list[Diagnostic]:
+    """Run the concurrency pass over files/directories as one unit (the
+    call graph spans all of them)."""
+    modules: list[ModuleModel] = []
+    diags: list[Diagnostic] = []
+    for f in iter_python_files(paths):
+        try:
+            modules.append(build_module(
+                f.read_text(encoding="utf-8"), path=str(f)))
+        except SyntaxError as exc:
+            diags.append(Diagnostic(
+                rule="code.syntax", severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+                location=f"{f}:{exc.lineno or 0}"))
+    diags.extend(check_modules(modules))
+    return diags
+
+
+__all__ = [
+    "CONC_RULES",
+    "Submission",
+    "check_modules",
+    "check_paths",
+    "check_source",
+    "find_submissions",
+    "worker_roots",
+]

@@ -62,6 +62,15 @@ class Diagnostic:
         d["severity"] = str(self.severity)
         return d
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Diagnostic":
+        """Inverse of :meth:`to_dict` (used by the analysis cache)."""
+        return cls(rule=data["rule"],
+                   severity=Severity[str(data["severity"]).upper()],
+                   message=data["message"],
+                   location=data.get("location", ""),
+                   fix=data.get("fix", ""))
+
 
 @dataclass(frozen=True)
 class Rule:

@@ -1,0 +1,115 @@
+"""SARIF 2.1.0 renderer for analysis diagnostics.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what GitHub code scanning ingests: uploading a ``*.sarif`` artifact
+surfaces findings as PR annotations.  This renderer maps the repo's
+:class:`~repro.analysis.diagnostics.Diagnostic` model onto the minimal
+conformant subset:
+
+* one ``run`` with ``tool.driver`` = ``ma-opt lint``, rule metadata
+  taken from the analyzers' :class:`RuleSet` catalogs;
+* severity mapping ``ERROR -> "error"``, ``WARNING -> "warning"``,
+  ``INFO -> "note"``;
+* ``location`` strings of the form ``path:line`` become physical
+  locations (URIs are repo-relative); locationless findings (config
+  checks, ERC element names) carry the raw string in the message only.
+
+No external dependency: the document is plain JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.analysis.diagnostics import Diagnostic, RuleSet, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+_LOC_RE = re.compile(r"^(?P<path>[^:]+\.(?:py|cir|sp|net|json|ya?ml))"
+                     r":(?P<line>\d+)$")
+
+
+def _physical_location(location: str) -> dict | None:
+    m = _LOC_RE.match(location)
+    if not m:
+        return None
+    uri = m.group("path").replace("\\", "/").lstrip("./")
+    out: dict = {"artifactLocation": {"uri": uri}}
+    line = int(m.group("line"))
+    if line > 0:
+        out["region"] = {"startLine": line}
+    return out
+
+
+def _result(diag: Diagnostic) -> dict:
+    message = diag.message
+    if diag.fix:
+        message += f" (fix: {diag.fix})"
+    result: dict = {
+        "ruleId": diag.rule,
+        "level": _LEVELS[Severity(diag.severity)],
+        "message": {"text": message},
+    }
+    phys = _physical_location(diag.location)
+    if phys is not None:
+        result["locations"] = [{"physicalLocation": phys}]
+    elif diag.location:
+        result["message"]["text"] += f" [at {diag.location}]"
+    return result
+
+
+def _rule_entries(rule_sets) -> list[dict]:
+    entries: dict[str, dict] = {}
+    for rs in rule_sets:
+        for rule in rs:
+            entries[rule.id] = {
+                "id": rule.id,
+                "shortDescription": {"text": rule.description},
+                "defaultConfiguration": {
+                    "level": _LEVELS[Severity(rule.severity)]},
+            }
+    return [entries[k] for k in sorted(entries)]
+
+
+def to_sarif(diagnostics, rule_sets=(),
+             tool_name: str = "ma-opt lint",
+             tool_version: str = "0.1") -> dict:
+    """Build a SARIF 2.1.0 document (as a plain dict) from findings.
+
+    ``rule_sets`` is an iterable of :class:`RuleSet`; pass every catalog
+    whose rules may appear so the driver metadata is complete.  Unknown
+    rule ids (e.g. ``code.syntax``) are still valid SARIF — results may
+    reference rules absent from the driver.
+    """
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool_name,
+                "version": tool_version,
+                "informationUri":
+                    "https://example.invalid/ma-opt/static-analysis",
+                "rules": _rule_entries(rule_sets),
+            }},
+            "results": [_result(d) for d in diagnostics],
+        }],
+    }
+
+
+def render_sarif(diagnostics, rule_sets=(), **kwargs) -> str:
+    """JSON text of :func:`to_sarif`."""
+    return json.dumps(to_sarif(diagnostics, rule_sets, **kwargs),
+                      indent=2, sort_keys=True)
+
+
+__all__ = ["SARIF_VERSION", "render_sarif", "to_sarif"]

@@ -274,3 +274,43 @@ def _bench_serialize(rng: np.random.Generator):
         os.rmdir(tmpdir)
 
     return payload, cleanup
+
+
+# -- static analysis ---------------------------------------------------------
+
+@REGISTRY.register(
+    "micro.analysis.rngflow", repeats=5, warmup=1,
+    description="flow-sensitive RNG provenance pass over the four "
+                "largest core/ modules (parse + scope build + rules)")
+def _bench_rngflow(rng: np.random.Generator):
+    import pathlib
+
+    import repro
+    from repro.analysis.rngflow import check_source
+
+    del rng  # analyzes fixed source text; input-free by design
+    root = pathlib.Path(repro.__file__).parent
+    sources = [(str(p), p.read_text(encoding="utf-8"))
+               for p in sorted((root / "core").glob("*.py"),
+                               key=lambda p: -p.stat().st_size)[:4]]
+
+    def payload():
+        for path, text in sources:
+            check_source(text, path=path)
+
+    return payload
+
+
+@REGISTRY.register(
+    "micro.analysis.shapes", repeats=5, warmup=1,
+    description="full shape-contract sweep (critic/actor IO, config "
+                "bounds, construction sites) over the installed package")
+def _bench_shapes(rng: np.random.Generator):
+    from repro.analysis.shapes import check_shapes
+
+    del rng  # analyzes fixed source text; input-free by design
+
+    def payload():
+        check_shapes()
+
+    return payload

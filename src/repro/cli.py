@@ -253,11 +253,59 @@ def cmd_netlist(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shapes_root(code_paths: list[str]):
+    """The ``repro`` package dir to run shape contracts over: the first
+    ``--code`` path that contains ``core/networks.py`` (so ``--code
+    src/repro`` checks the tree being linted), else the installed
+    package (``check_shapes`` default)."""
+    import pathlib
+
+    for path in code_paths:
+        p = pathlib.Path(path)
+        if (p / "core" / "networks.py").exists():
+            return p
+    return None
+
+
+def _lint_code_path(path: str, args: argparse.Namespace,
+                    cache) -> list:
+    """codelint (+ flow passes with ``--flow``) over one ``--code``
+    target, routing the per-file passes through the result cache."""
+    from repro.analysis.cache import analyzer_fingerprint
+    from repro.analysis.codelint import CODE_RULES, lint_source
+    from repro.analysis.flow import iter_python_files
+
+    per_file = [("codelint", analyzer_fingerprint("codelint", CODE_RULES),
+                 lint_source)]
+    if args.flow:
+        from repro.analysis.rngflow import RNG_RULES
+        from repro.analysis.rngflow import check_source as rng_check
+
+        per_file.append(
+            ("rngflow", analyzer_fingerprint("rngflow", RNG_RULES),
+             rng_check))
+    diags: list = []
+    for f in iter_python_files([path]):
+        source = f.read_text(encoding="utf-8")
+        for _, fp, run in per_file:
+            if cache is None:
+                diags.extend(run(source, str(f)))
+            else:
+                diags.extend(cache.cached_call(fp, str(f), source, run))
+    if args.flow:
+        # The concurrency pass builds a call graph across the whole
+        # target; its result depends on *other* files, so a per-file
+        # cache key would be unsound — it always runs.
+        from repro.analysis.concurrency import check_paths as conc_check
+
+        diags.extend(conc_check([path]))
+    return diags
+
+
 def _lint_groups(args: argparse.Namespace) -> list[tuple[str, list]]:
     """Collect ``(target label, diagnostics)`` groups for ``lint``."""
     import os
 
-    from repro.analysis.codelint import lint_paths
     from repro.analysis.configlint import check_config
     from repro.analysis.erc import lint_deck
 
@@ -287,11 +335,37 @@ def _lint_groups(args: argparse.Namespace) -> list[tuple[str, list]]:
                 if args.task else None)
         groups.append(("config", check_config(
             config, task=task, n_sims=args.sims, n_init=args.init)))
+    cache = None
+    if args.code and args.use_cache:
+        from repro.analysis.cache import AnalysisCache
+
+        cache = AnalysisCache.load(args.cache_path)
     for path in args.code:
         if not os.path.exists(path):
             raise SystemExit(f"repro: error: no such path {path!r}")
-        groups.append((path, lint_paths([path])))
+        groups.append((path, _lint_code_path(path, args, cache)))
+    if cache is not None:
+        cache.save()
+        args._cache_stats = (cache.hits, cache.misses)
+    if args.shapes:
+        from repro.analysis.shapes import check_shapes
+
+        groups.append(("shapes", check_shapes(_shapes_root(args.code))))
     return groups
+
+
+def _unknown_prefixes(prefixes) -> list[str]:
+    """``--select/--ignore`` values matching no registered rule id."""
+    from repro.analysis import all_rules
+
+    known = [r.id for r in all_rules()] + ["code.syntax"]
+    bad = []
+    for prefix in prefixes:
+        stem = prefix.rstrip(".")
+        if not any(rid == stem or rid.startswith(stem + ".")
+                   for rid in known):
+            bad.append(prefix)
+    return bad
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -300,14 +374,51 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.diagnostics import (exit_code, filter_diagnostics,
                                             render_text, sort_diagnostics)
 
-    if not args.targets and not args.config and not args.code:
+    if not args.targets and not args.config and not args.code \
+            and not args.shapes:
         print("repro: error: nothing to lint — give task names / deck "
-              "files, --config, or --code PATH", file=sys.stderr)
+              "files, --config, --code PATH, or --shapes",
+              file=sys.stderr)
+        return 2
+    bad = _unknown_prefixes([*args.select, *args.ignore])
+    if bad:
+        print(f"repro: error: --select/--ignore prefix(es) matching no "
+              f"registered rule: {', '.join(sorted(bad))} "
+              f"(see 'ma-opt lint' docs for the catalog)",
+              file=sys.stderr)
         return 2
     groups = [(label, sort_diagnostics(filter_diagnostics(
         diags, select=args.select, ignore=args.ignore)))
         for label, diags in _lint_groups(args)]
     everything = [d for _, diags in groups for d in diags]
+
+    # -- baseline ratchet -----------------------------------------------------
+    n_suppressed = 0
+    if args.update_baseline:
+        from repro.analysis.baseline import DEFAULT_BASELINE_PATH, Baseline
+
+        target = args.baseline or DEFAULT_BASELINE_PATH
+        Baseline.from_diagnostics(everything).save(target)
+        if args.format != "json":
+            print(f"froze {len(everything)} finding(s) into {target}")
+        return 0
+    if args.baseline is not None:
+        from repro.analysis.baseline import Baseline
+
+        screen = Baseline.load(args.baseline).apply(everything)
+        suppressed = {id(d) for d in screen.suppressed}
+        n_suppressed = len(screen.suppressed)
+        groups = [(label, [d for d in diags if id(d) not in suppressed])
+                  for label, diags in groups]
+        everything = screen.new
+
+    if args.sarif_out:
+        from repro.analysis import RULE_SETS
+        from repro.analysis.sarif import render_sarif
+
+        with open(args.sarif_out, "w", encoding="utf-8") as fh:
+            fh.write(render_sarif(everything, rule_sets=RULE_SETS))
+
     if args.format == "json":
         for label, diags in groups:
             for d in diags:
@@ -318,6 +429,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
             if len(groups) > 1:
                 print(f"== {label} ==")
             print(render_text(diags))
+        if n_suppressed:
+            print(f"{n_suppressed} baseline-suppressed finding(s) "
+                  f"not shown")
+        stats = getattr(args, "_cache_stats", None)
+        if stats is not None:
+            print(f"cache: {stats[0]} hit(s), {stats[1]} miss(es)")
     return exit_code(everything)
 
 
@@ -507,6 +624,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--code", metavar="PATH", action="append", default=[],
                    help="run the repo-invariant AST linter over PATH "
                         "(file or directory; repeatable)")
+    p.add_argument("--flow", action="store_true",
+                   help="with --code: also run the flow-sensitive RNG "
+                        "provenance and concurrency passes (flow.*)")
+    p.add_argument("--shapes", action="store_true",
+                   help="check the paper's dimensional contracts "
+                        "(critic 2d->m+1, actor d->d, N_es bound; "
+                        "shape.* rules)")
+    p.add_argument("--baseline", metavar="PATH", default=None,
+                   help="screen findings against this committed baseline "
+                        "(only findings NOT in it affect the exit code)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="freeze the current findings into the baseline "
+                        "file and exit 0 (ratchet update)")
+    p.add_argument("--sarif-out", metavar="PATH", default=None,
+                   help="also write findings as a SARIF 2.1.0 document "
+                        "(GitHub code scanning)")
+    p.add_argument("--cache", dest="cache_path", metavar="PATH",
+                   default=".ma-opt-lint-cache.json",
+                   help="incremental result cache for --code passes "
+                        "(keyed by file content hash)")
+    p.add_argument("--no-cache", dest="use_cache", action="store_false",
+                   default=True,
+                   help="disable the incremental result cache")
     p.add_argument("--format", choices=("text", "json"), default="text",
                    help="text report or one JSON object per finding")
     p.add_argument("--select", action="append", default=[],

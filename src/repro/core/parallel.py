@@ -60,6 +60,18 @@ from repro.resilience.policy import (
 _WORKER_TASK: SizingTask | None = None
 _WORKER_POLICY: ResilienceConfig | None = None
 
+
+def worker_side(fn):
+    """Mark ``fn`` as running inside a pool worker process.
+
+    The marker is consumed by the flow-sensitive concurrency pass
+    (:mod:`repro.analysis.concurrency`): any function carrying it — or
+    reachable from one through the call graph — must not rely on writes
+    to parent-process state.  At runtime it is an identity decorator.
+    """
+    fn.__worker_side__ = True
+    return fn
+
 # Watchdog slack added on top of the computed retry budget: covers pool
 # spin-up (spawn context) and pickling, so healthy-but-queued designs are
 # never misdiagnosed as hung.  The deadline is deliberately conservative —
@@ -67,13 +79,18 @@ _WORKER_POLICY: ResilienceConfig | None = None
 _WATCHDOG_SLACK_S = 5.0
 
 
+@worker_side
 def _init_worker(task: SizingTask,
                  policy: ResilienceConfig | None = None) -> None:
+    # These globals are the *per-worker* slots this initializer exists to
+    # fill — each spawn worker populates its own copy, and nothing in the
+    # parent ever reads them.
     global _WORKER_TASK, _WORKER_POLICY
-    _WORKER_TASK = task
-    _WORKER_POLICY = policy
+    _WORKER_TASK = task        # repro: ignore[flow.conc.global-write]
+    _WORKER_POLICY = policy    # repro: ignore[flow.conc.global-write]
 
 
+@worker_side
 def _evaluate_one(u: np.ndarray) -> tuple[np.ndarray, float]:
     """Evaluate one design in a worker; returns (metrics, seconds)."""
     if _WORKER_TASK is None:  # pragma: no cover - defensive
@@ -83,6 +100,7 @@ def _evaluate_one(u: np.ndarray) -> tuple[np.ndarray, float]:
     return metrics, time.perf_counter() - t0
 
 
+@worker_side
 def _evaluate_one_resilient(u: np.ndarray,
                             start_attempt: int = 0) -> SimOutcome:
     """Worker-side retry loop; mirrors the serial path exactly."""

@@ -1,0 +1,101 @@
+"""Tests for the baseline ratchet (freeze existing findings, fail new)."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import Baseline, fingerprint
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+
+def diag(rule="flow.rng.unseeded", location="src/m.py:10", message="msg",
+         severity=Severity.WARNING):
+    return Diagnostic(rule=rule, severity=severity, message=message,
+                      location=location)
+
+
+class TestFingerprint:
+    def test_line_number_independent(self):
+        assert fingerprint(diag(location="src/m.py:10")) \
+            == fingerprint(diag(location="src/m.py:999"))
+
+    def test_path_sensitive(self):
+        assert fingerprint(diag(location="src/a.py:10")) \
+            != fingerprint(diag(location="src/b.py:10"))
+
+    def test_rule_and_message_sensitive(self):
+        assert fingerprint(diag(rule="x.a")) != fingerprint(diag(rule="x.b"))
+        assert fingerprint(diag(message="m1")) \
+            != fingerprint(diag(message="m2"))
+
+
+class TestRatchet:
+    def test_frozen_findings_suppressed(self):
+        d = diag()
+        b = Baseline.from_diagnostics([d])
+        res = b.apply([d])
+        assert res.suppressed == [d] and not res.new and not res.stale
+
+    def test_new_finding_surfaces(self):
+        b = Baseline.from_diagnostics([diag()])
+        extra = diag(rule="flow.conc.global-write",
+                     severity=Severity.ERROR)
+        res = b.apply([diag(), extra])
+        assert res.new == [extra]
+
+    def test_line_shift_does_not_resurrect(self):
+        b = Baseline.from_diagnostics([diag(location="src/m.py:10")])
+        assert b.apply([diag(location="src/m.py:42")]).new == []
+
+    def test_counts_bound_duplicates(self):
+        two = [diag(), diag()]
+        b = Baseline.from_diagnostics(two)
+        res = b.apply(two + [diag()])
+        assert len(res.suppressed) == 2 and len(res.new) == 1
+
+    def test_stale_entries_reported(self):
+        b = Baseline.from_diagnostics([diag()])
+        res = b.apply([])
+        assert res.stale == [fingerprint(diag())]
+
+    def test_empty_baseline_is_strict(self):
+        res = Baseline().apply([diag()])
+        assert len(res.new) == 1
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        p = tmp_path / "lint-baseline.json"
+        b = Baseline.from_diagnostics([diag(), diag(rule="x.y")])
+        b.save(p)
+        b2 = Baseline.load(p)
+        assert b2.counts == b.counts
+        data = json.loads(p.read_text())
+        assert data["schema"] == 1
+        assert all("summary" in e for e in data["findings"].values())
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        p = tmp_path / "b.json"
+        p.write_text(json.dumps({"schema": 99, "findings": {}}))
+        with pytest.raises(ValueError):
+            Baseline.load(p)
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_screens_the_live_findings(self, monkeypatch):
+        # The committed lint-baseline.json must keep screening exactly
+        # what `ma-opt lint --code src/repro --flow` finds today.
+        # Fingerprints embed the path as written, so run from the repo
+        # root with the same relative path CI uses.
+        import pathlib
+
+        from repro.analysis.rngflow import check_paths
+
+        repo_root = pathlib.Path(__file__).resolve().parents[2]
+        monkeypatch.chdir(repo_root)
+        baseline = Baseline.load("lint-baseline.json")
+        res = baseline.apply(check_paths(["src/repro"]))
+        assert res.new == [], [d.render() for d in res.new]

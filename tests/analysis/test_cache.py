@@ -1,0 +1,103 @@
+"""Tests for the incremental analysis result cache."""
+
+import time
+
+from repro.analysis.cache import (
+    AnalysisCache,
+    analyzer_fingerprint,
+    content_hash,
+)
+from repro.analysis.codelint import CODE_RULES
+from repro.analysis.diagnostics import Diagnostic, RuleSet, Severity
+
+DIAG = Diagnostic(rule="code.bare-except", severity=Severity.WARNING,
+                  message="msg", location="x.py:3", fix="narrow it")
+
+
+class TestKeys:
+    def test_content_hash_is_content_only(self):
+        assert content_hash("abc") == content_hash("abc")
+        assert content_hash("abc") != content_hash("abd")
+
+    def test_fingerprint_changes_with_rules(self):
+        a = RuleSet()
+        a.add("r.one", Severity.ERROR, "one")
+        b = RuleSet()
+        b.add("r.one", Severity.ERROR, "one")
+        assert analyzer_fingerprint("x", a) == analyzer_fingerprint("x", b)
+        b.add("r.two", Severity.WARNING, "two")
+        assert analyzer_fingerprint("x", a) != analyzer_fingerprint("x", b)
+
+    def test_fingerprint_changes_with_version(self):
+        assert analyzer_fingerprint("x", CODE_RULES, version="1") \
+            != analyzer_fingerprint("x", CODE_RULES, version="2")
+
+
+class TestStore:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        p = tmp_path / "cache.json"
+        c = AnalysisCache.load(p)
+        assert c.get("fp", "x.py", "src") is None
+        c.put("fp", "x.py", "src", [DIAG])
+        assert c.get("fp", "x.py", "src") == [DIAG]
+        assert (c.hits, c.misses) == (1, 1)
+        c.save()
+        c2 = AnalysisCache.load(p)
+        assert c2.get("fp", "x.py", "src") == [DIAG]
+
+    def test_path_is_part_of_the_key(self, tmp_path):
+        c = AnalysisCache.load(tmp_path / "cache.json")
+        c.put("fp", "a.py", "src", [DIAG])
+        assert c.get("fp", "b.py", "src") is None
+
+    def test_content_change_misses(self, tmp_path):
+        c = AnalysisCache.load(tmp_path / "cache.json")
+        c.put("fp", "a.py", "v1", [DIAG])
+        assert c.get("fp", "a.py", "v2") is None
+
+    def test_corrupt_store_starts_empty(self, tmp_path):
+        p = tmp_path / "cache.json"
+        p.write_text("{not json")
+        c = AnalysisCache.load(p)
+        assert len(c) == 0
+
+    def test_cached_call_runs_once(self, tmp_path):
+        calls = []
+
+        def run(source, path):
+            calls.append(path)
+            return [DIAG]
+
+        c = AnalysisCache.load(tmp_path / "cache.json")
+        out1 = c.cached_call("fp", "x.py", "src", run)
+        out2 = c.cached_call("fp", "x.py", "src", run)
+        assert out1 == out2 == [DIAG]
+        assert calls == ["x.py"]
+
+
+class TestSpeedup:
+    def test_second_run_is_measurably_faster(self, tmp_path):
+        # Acceptance criterion: the cache-hit path beats re-analysis.
+        import pathlib
+
+        import repro
+        from repro.analysis.rngflow import RNG_RULES, check_source
+
+        root = pathlib.Path(repro.__file__).parent
+        sources = [(str(f), f.read_text(encoding="utf-8"))
+                   for f in sorted((root / "core").glob("*.py"))]
+        fp = analyzer_fingerprint("rngflow", RNG_RULES)
+        cache = AnalysisCache.load(tmp_path / "cache.json")
+
+        def sweep():
+            t0 = time.perf_counter()
+            out = [cache.cached_call(fp, path, text, check_source)
+                   for path, text in sources]
+            return out, time.perf_counter() - t0
+
+        cold, t_cold = sweep()
+        warm, t_warm = sweep()
+        assert [list(map(lambda d: d.to_dict(), g)) for g in cold] \
+            == [list(map(lambda d: d.to_dict(), g)) for g in warm]
+        assert cache.hits == len(sources)
+        assert t_warm < t_cold / 2, (t_cold, t_warm)

@@ -106,3 +106,121 @@ class TestConfigAndCode:
     def test_nothing_to_lint_exits_two(self, capsys):
         assert main(["lint"]) == 2
         assert "nothing to lint" in capsys.readouterr().err
+
+
+GOOD_FLOW = "def sample(rng, n):\n    return rng.uniform(size=n)\n"
+BAD_FLOW = ("import numpy as np\n"
+            "rng = np.random.default_rng(0)\n"
+            "def sample(n):\n"
+            "    return rng.uniform(size=n)\n")
+
+
+class TestPrefixValidation:
+    def test_unknown_select_prefix_exits_two(self, clean_deck, capsys):
+        assert main(["lint", clean_deck, "--select", "bogus.rule"]) == 2
+        assert "matching no registered rule" in capsys.readouterr().err
+
+    def test_unknown_ignore_prefix_exits_two(self, clean_deck, capsys):
+        assert main(["lint", clean_deck, "--ignore", "nope"]) == 2
+
+    def test_known_prefixes_accepted(self, clean_deck):
+        assert main(["lint", clean_deck, "--select", "erc",
+                     "--ignore", "erc.unit-suffix"]) == 0
+
+    def test_flow_and_shape_prefixes_registered(self, clean_deck):
+        assert main(["lint", clean_deck, "--select", "flow.rng",
+                     "--ignore", "shape"]) == 0
+
+
+class TestFlowAndShapes:
+    def test_flow_finds_global_rng_sampling(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_FLOW, encoding="utf-8")
+        assert main(["lint", "--code", str(bad), "--flow",
+                     "--no-cache"]) == 1
+        assert "flow.rng.no-param" in capsys.readouterr().out
+
+    def test_without_flow_flag_silent(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_FLOW, encoding="utf-8")
+        assert main(["lint", "--code", str(bad), "--no-cache"]) == 0
+
+    def test_shapes_alone_is_a_valid_invocation(self, capsys):
+        assert main(["lint", "--shapes"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_repo_gate_invocation_with_baseline(self, monkeypatch, capsys):
+        # The exact CI gate: everything on, screened by the committed
+        # baseline, must exit 0.
+        repo_root = pathlib.Path(__file__).resolve().parents[2]
+        monkeypatch.chdir(repo_root)
+        assert main(["lint", "--code", "src/repro", "--flow", "--shapes",
+                     "--no-cache", "--baseline", "lint-baseline.json"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline-suppressed" in out
+
+
+class TestCacheFlag:
+    def test_cache_populated_and_hit(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text(GOOD_FLOW, encoding="utf-8")
+        cache = tmp_path / "cache.json"
+        assert main(["lint", "--code", str(good), "--flow",
+                     "--cache", str(cache)]) == 0
+        first = capsys.readouterr().out
+        assert "miss(es)" in first and cache.exists()
+        assert main(["lint", "--code", str(good), "--flow",
+                     "--cache", str(cache)]) == 0
+        second = capsys.readouterr().out
+        assert "2 hit(s), 0 miss(es)" in second
+
+    def test_no_cache_writes_nothing(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        good = tmp_path / "good.py"
+        good.write_text(GOOD_FLOW, encoding="utf-8")
+        assert main(["lint", "--code", str(good), "--no-cache"]) == 0
+        assert not (tmp_path / ".ma-opt-lint-cache.json").exists()
+        assert "cache:" not in capsys.readouterr().out
+
+
+class TestBaselineFlags:
+    def test_update_then_screen_then_ratchet(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_FLOW, encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        # 1. freeze the pre-existing finding
+        assert main(["lint", "--code", str(bad), "--flow", "--no-cache",
+                     "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        assert "froze 1 finding(s)" in capsys.readouterr().out
+        # 2. screened run is clean
+        assert main(["lint", "--code", str(bad), "--flow", "--no-cache",
+                     "--baseline", str(baseline)]) == 0
+        assert "1 baseline-suppressed" in capsys.readouterr().out
+        # 3. a NEW finding still fails
+        bad.write_text(BAD_FLOW + "import pickle\n", encoding="utf-8")
+        assert main(["lint", "--code", str(bad), "--flow", "--no-cache",
+                     "--baseline", str(baseline)]) == 1
+        assert "code.pickle" in capsys.readouterr().out
+
+    def test_missing_baseline_file_is_strict(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_FLOW, encoding="utf-8")
+        assert main(["lint", "--code", str(bad), "--flow", "--no-cache",
+                     "--baseline", str(tmp_path / "absent.json")]) == 1
+
+
+class TestSarifOut:
+    def test_sarif_written_with_new_findings_only(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import pickle\n", encoding="utf-8")
+        sarif = tmp_path / "out.sarif"
+        assert main(["lint", "--code", str(bad), "--no-cache",
+                     "--sarif-out", str(sarif)]) == 1
+        doc = json.loads(sarif.read_text(encoding="utf-8"))
+        assert doc["version"] == "2.1.0"
+        results = doc["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["code.pickle"]
+        rule_ids = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"flow.rng.no-param", "shape.critic-io",
+                "flow.conc.global-write"} <= rule_ids

@@ -1,0 +1,175 @@
+"""Tests for the flow-sensitive concurrency pass (flow.conc.*)."""
+
+import textwrap
+
+from repro.analysis.concurrency import check_source, check_paths
+
+
+def check(snippet, path="m.py"):
+    return check_source(textwrap.dedent(snippet), path=path)
+
+
+def rules(diags):
+    return {d.rule for d in diags}
+
+
+class TestClosureCapture:
+    def test_parent_mutated_list_capture_fires(self):
+        # The ISSUE's seeded mutation: a pool closure captures a list
+        # the parent keeps appending to — workers see a stale pickle.
+        diags = check("""
+            def run(pool, designs):
+                results = []
+                def worker(u):
+                    return u + len(results)
+                for u in designs:
+                    results.append(u)
+                return pool.map(worker, designs)
+        """)
+        assert "flow.conc.closure-capture" in rules(diags)
+
+    def test_immutable_capture_clean(self):
+        diags = check("""
+            def run(pool, designs, scale):
+                def worker(u):
+                    return u * scale
+                return pool.map(worker, designs)
+        """)
+        assert "flow.conc.closure-capture" not in rules(diags)
+
+    def test_unmutated_list_capture_clean(self):
+        diags = check("""
+            def run(pool, designs):
+                weights = [1.0, 2.0]
+                def worker(u):
+                    return u * weights[0]
+                return pool.map(worker, designs)
+        """)
+        assert "flow.conc.closure-capture" not in rules(diags)
+
+
+class TestUnpicklable:
+    def test_lambda_on_pool_path_fires(self):
+        diags = check("""
+            def run(pool, designs):
+                return pool.map(lambda u: u + 1, designs)
+        """)
+        assert "flow.conc.unpicklable" in rules(diags)
+
+    def test_local_def_on_pool_path_fires(self):
+        diags = check("""
+            def run(pool, designs):
+                def local(u):
+                    return u + 1
+                return pool.starmap(local, designs)
+        """)
+        assert "flow.conc.unpicklable" in rules(diags)
+
+    def test_module_level_function_clean(self):
+        diags = check("""
+            def worker(u):
+                return u + 1
+            def run(pool, designs):
+                return pool.map(worker, designs)
+        """)
+        assert "flow.conc.unpicklable" not in rules(diags)
+
+    def test_thread_path_not_flagged_for_pickling(self):
+        diags = check("""
+            import threading
+            def run(x):
+                t = threading.Thread(target=lambda: x)
+                t.start()
+        """)
+        assert "flow.conc.unpicklable" not in rules(diags)
+
+
+class TestGlobalWrite:
+    def test_submitted_function_writing_global_fires(self):
+        diags = check("""
+            STATE = {}
+            def worker(u):
+                STATE[u] = 1
+                return u
+            def run(pool, designs):
+                return pool.map(worker, designs)
+        """)
+        assert "flow.conc.global-write" in rules(diags)
+
+    def test_marker_decorator_discovers_worker(self):
+        diags = check("""
+            from repro.core.parallel import worker_side
+            COUNTER = []
+            @worker_side
+            def entry(u):
+                COUNTER.append(u)
+        """)
+        assert "flow.conc.global-write" in rules(diags)
+
+    def test_transitive_callee_checked(self):
+        diags = check("""
+            ACC = []
+            def helper(u):
+                ACC.append(u)
+            def worker(u):
+                return helper(u)
+            def run(pool, designs):
+                return pool.map(worker, designs)
+        """)
+        assert "flow.conc.global-write" in rules(diags)
+
+    def test_local_shadow_not_flagged(self):
+        diags = check("""
+            acc = []
+            def worker(u):
+                acc = []
+                acc.append(u)
+                return acc
+            def run(pool, designs):
+                return pool.map(worker, designs)
+        """)
+        assert "flow.conc.global-write" not in rules(diags)
+
+    def test_parent_side_global_write_clean(self):
+        diags = check("""
+            TOTALS = []
+            def worker(u):
+                return u + 1
+            def run(pool, designs):
+                out = pool.map(worker, designs)
+                TOTALS.extend(out)
+                return out
+        """)
+        assert "flow.conc.global-write" not in rules(diags)
+
+    def test_suppression_comment(self):
+        diags = check("""
+            STATE = None
+            def worker(u):
+                global STATE
+                STATE = u  # repro: ignore[flow.conc.global-write]
+            def run(pool, designs):
+                return pool.map(worker, designs)
+        """)
+        assert "flow.conc.global-write" not in rules(diags)
+
+
+class TestRepoSources:
+    def test_parallel_module_is_clean_with_suppressions(self):
+        # core/parallel.py's per-worker initializer writes ARE worker
+        # state by design; the inline suppressions must hold.
+        import pathlib
+
+        import repro
+
+        root = pathlib.Path(repro.__file__).parent
+        diags = check_paths([root / "core" / "parallel.py"])
+        assert diags == []
+
+    def test_whole_tree_is_clean(self):
+        import pathlib
+
+        import repro
+
+        root = pathlib.Path(repro.__file__).parent
+        assert check_paths([root]) == []

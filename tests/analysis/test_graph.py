@@ -72,3 +72,108 @@ class TestFindCycle:
 
     def test_self_loop_ignored(self):
         assert find_cycle([(0, 0, "V1"), (0, 1, "V2")]) is None
+
+
+class TestSelfLoopElements:
+    """Self-loop edges: a device with both terminals on one node."""
+
+    def test_union_self_is_noop(self):
+        uf = UnionFind(3)
+        assert not uf.union(1, 1)
+        assert int(uf.size[uf.find(1)]) == 1
+
+    def test_bfs_ignores_self_edges(self):
+        adj = {0: [(0, "loop"), (1, "a")], 1: [(0, "a")]}
+        assert bfs_path(adj, 0, 1) == ["a"]
+
+    def test_cycle_detection_skips_self_loops_among_real_edges(self):
+        edges = [(0, 0, "Vself"), (0, 1, "V1"), (1, 2, "V2")]
+        assert find_cycle(edges) is None
+
+    def test_erc_self_loop_resistor_is_an_island(self):
+        from repro.analysis.erc import lint_deck
+
+        deck = "V1 in 0 DC 1\nR1 in 0 1k\nR2 x x 1k\n.end\n"
+        diags = lint_deck(deck)
+        assert [d.rule for d in diags] == ["erc.no-dc-path"]
+        assert diags[0].location == "x"
+
+    def test_erc_self_loop_vsource_is_a_short(self):
+        from repro.analysis.erc import lint_deck
+
+        deck = "V1 in 0 DC 1\nR1 in 0 1k\nV2 in in DC 0\n.end\n"
+        rules = {d.rule for d in lint_deck(deck)}
+        assert "erc.source-short" in rules
+        # ...and does NOT double-report as a voltage-source loop.
+        assert "erc.vsource-loop" not in rules
+
+
+class TestDisconnectedSubcircuits:
+    """Fully disconnected components: every node islanded from ground."""
+
+    def test_union_find_keeps_components_apart(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)      # component A
+        uf.union(3, 4)
+        uf.union(4, 5)      # component B
+        assert not uf.connected(0, 5)
+        assert list(uf.component_mask(0)) == [True] * 3 + [False] * 3
+        assert list(uf.component_mask(5)) == [False] * 3 + [True] * 3
+
+    def test_bfs_cannot_cross_components(self):
+        adj = {0: [(1, "a")], 1: [(0, "a")], 2: [(3, "b")], 3: [(2, "b")]}
+        assert bfs_path(adj, 0, 3) is None
+
+    def test_erc_reports_every_islanded_node(self):
+        from repro.analysis.erc import lint_deck
+
+        deck = ("V1 in 0 DC 1\nR1 in 0 1k\n"
+                "R3 a b 1k\nR4 b a 2k\n.end\n")
+        diags = lint_deck(deck)
+        assert [d.rule for d in diags] == ["erc.no-dc-path"] * 2
+        assert sorted(d.location for d in diags) == ["a", "b"]
+
+
+class TestCanonicalNodeStability:
+    """Node indices come from sorted() over node names: renaming every
+    node must not change which *rules* fire (only the names in them)."""
+
+    DECK = ("V1 in 0 DC 1\nR1 in mid 1k\nR2 mid 0 1k\n"
+            "C1 mid dangle 1p\n.end\n")
+
+    @staticmethod
+    def _rename(deck, mapping):
+        out = []
+        for line in deck.splitlines():
+            parts = line.split()
+            out.append(" ".join(mapping.get(p, p) for p in parts))
+        return "\n".join(out) + "\n"
+
+    def test_rule_multiset_invariant_under_renaming(self):
+        from repro.analysis.erc import lint_deck
+
+        renamed = self._rename(
+            self.DECK, {"in": "zz_in", "mid": "aa_mid",
+                        "dangle": "qq_dangle"})
+        before = sorted(d.rule for d in lint_deck(self.DECK))
+        after = sorted(d.rule for d in lint_deck(renamed))
+        assert before == after == ["erc.floating-node", "erc.no-dc-path"]
+
+    def test_locations_follow_the_renaming(self):
+        from repro.analysis.erc import lint_deck
+
+        renamed = self._rename(self.DECK, {"dangle": "zzz"})
+        locs = {d.rule: d.location for d in lint_deck(renamed)}
+        assert locs["erc.floating-node"] == "zzz"
+
+    def test_reversed_sort_order_same_verdicts(self):
+        # Renaming that inverts the sorted() order of node names must
+        # not flip any union-find/cycle verdicts.
+        from repro.analysis.erc import lint_deck
+
+        deck = "V1 a 0 DC 1\nV2 b 0 DC 1\nV3 a b DC 0\nR1 a 0 1k\n.end\n"
+        flipped = self._rename(deck, {"a": "zz", "b": "aa"})
+        assert {d.rule for d in lint_deck(deck)} \
+            == {d.rule for d in lint_deck(flipped)} \
+            >= {"erc.vsource-loop"}

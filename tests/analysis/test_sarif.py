@@ -1,0 +1,62 @@
+"""Tests for the SARIF 2.1.0 renderer."""
+
+import json
+
+from repro.analysis.diagnostics import Diagnostic, RuleSet, Severity
+from repro.analysis.sarif import render_sarif, to_sarif
+
+RULES = RuleSet()
+RULES.add("flow.rng.no-param", Severity.ERROR, "no rng parameter")
+RULES.add("flow.rng.unseeded", Severity.WARNING, "unseeded default_rng")
+
+ERR = Diagnostic(rule="flow.rng.no-param", severity=Severity.ERROR,
+                 message="boom", location="src/repro/core/x.py:42",
+                 fix="thread rng")
+WARN = Diagnostic(rule="flow.rng.unseeded", severity=Severity.WARNING,
+                  message="meh", location="field n_elite")
+
+
+class TestDocumentShape:
+    def test_version_and_schema(self):
+        doc = to_sarif([ERR], rule_sets=[RULES])
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        assert len(doc["runs"]) == 1
+
+    def test_driver_rules_catalog(self):
+        doc = to_sarif([], rule_sets=[RULES])
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == ["flow.rng.no-param",
+                                           "flow.rng.unseeded"]
+        assert rules[0]["defaultConfiguration"]["level"] == "error"
+        assert rules[1]["defaultConfiguration"]["level"] == "warning"
+
+
+class TestResults:
+    def test_severity_level_mapping(self):
+        info = Diagnostic(rule="x.i", severity=Severity.INFO, message="m")
+        doc = to_sarif([ERR, WARN, info])
+        levels = [r["level"] for r in doc["runs"][0]["results"]]
+        assert levels == ["error", "warning", "note"]
+
+    def test_physical_location_parsed(self):
+        doc = to_sarif([ERR])
+        loc = doc["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/core/x.py"
+        assert loc["region"]["startLine"] == 42
+
+    def test_fix_folded_into_message(self):
+        doc = to_sarif([ERR])
+        assert "(fix: thread rng)" in \
+            doc["runs"][0]["results"][0]["message"]["text"]
+
+    def test_non_file_location_kept_in_message(self):
+        doc = to_sarif([WARN])
+        result = doc["runs"][0]["results"][0]
+        assert "locations" not in result
+        assert "[at field n_elite]" in result["message"]["text"]
+
+    def test_render_is_valid_json(self):
+        parsed = json.loads(render_sarif([ERR, WARN], rule_sets=[RULES]))
+        assert parsed["runs"][0]["results"]

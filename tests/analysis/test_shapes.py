@@ -1,0 +1,204 @@
+"""Tests for the symbolic shape-contract checker (shape.*)."""
+
+import textwrap
+
+from repro.analysis.shapes import (
+    Sym,
+    check_config_sources,
+    check_construction_source,
+    check_networks_source,
+    check_shapes,
+    sym_eval,
+)
+
+
+def rules(diags):
+    return {d.rule for d in diags}
+
+
+def networks(snippet):
+    return check_networks_source(textwrap.dedent(snippet), path="n.py")
+
+
+def construction(snippet):
+    return check_construction_source(textwrap.dedent(snippet), path="c.py")
+
+
+GOOD_NETWORKS = """
+    class Critic:
+        def __init__(self, d, n_metrics, hidden=(100, 100), seed=None):
+            self.net = MLP([2 * d, *hidden, n_metrics], seed=seed)
+
+    class Actor:
+        def __init__(self, d, hidden=(100, 100), seed=None):
+            self.net = MLP([d, *hidden, d], output_activation="tanh")
+"""
+
+
+class TestSym:
+    def test_linear_arithmetic(self):
+        import ast
+
+        env = {}
+        e = sym_eval(ast.parse("2 * d + 1", mode="eval").body, env)
+        assert e == Sym.of(1.0, d=2.0)
+
+    def test_env_substitution(self):
+        import ast
+
+        env = {"n": Sym.of(1.0, **{"task.m": 1.0})}
+        e = sym_eval(ast.parse("n", mode="eval").body, env)
+        assert e.anchored_on(".m") and e.const == 1.0
+
+    def test_nonlinear_gives_none(self):
+        import ast
+
+        assert sym_eval(ast.parse("d * d", mode="eval").body, {}) is None
+
+    def test_str_rendering(self):
+        assert str(Sym.of(1.0, **{"task.m": 1.0})) == "task.m + 1"
+
+
+class TestCriticActorIO:
+    def test_paper_contracts_clean(self):
+        assert networks(GOOD_NETWORKS) == []
+
+    def test_critic_input_not_doubled_fires(self):
+        diags = networks(GOOD_NETWORKS.replace("[2 * d,", "[d,"))
+        assert "shape.critic-io" in rules(diags)
+
+    def test_critic_output_wrong_symbol_fires(self):
+        diags = networks(GOOD_NETWORKS.replace(
+            "*hidden, n_metrics]", "*hidden, d]"))
+        assert "shape.critic-io" in rules(diags)
+
+    def test_actor_not_square_fires(self):
+        diags = networks(GOOD_NETWORKS.replace(
+            "[d, *hidden, d]", "[d, *hidden, 2 * d]"))
+        assert "shape.actor-io" in rules(diags)
+
+    def test_folded_local_assignment_followed(self):
+        # in_dim = 2 * d threaded through a local still satisfies Eq. 4.
+        assert networks("""
+            class Critic:
+                def __init__(self, d, n_metrics):
+                    in_dim = 2 * d
+                    self.net = MLP([in_dim, 100, n_metrics])
+
+            class Actor:
+                def __init__(self, d):
+                    self.net = MLP([d, 100, d])
+        """) == []
+
+    def test_missing_class_warns(self):
+        diags = networks("class Unrelated:\n    pass\n")
+        assert rules(diags) == {"shape.contract-missing"}
+
+
+class TestMlpSizes:
+    def test_single_entry_list_fires(self):
+        diags = networks(GOOD_NETWORKS.replace(
+            "[d, *hidden, d]", "[d]"))
+        assert "shape.mlp-sizes" in rules(diags)
+
+    def test_nonpositive_width_fires(self):
+        diags = networks(GOOD_NETWORKS.replace(
+            "[2 * d, *hidden, n_metrics]", "[2 * d, 0, n_metrics]"))
+        assert "shape.mlp-sizes" in rules(diags)
+
+
+class TestCriticMetrics:
+    def test_seeded_mutation_width_m_fires(self):
+        # The ISSUE's seeded mutation: critic output width m, not m + 1.
+        diags = construction("""
+            def build(task, cfg):
+                critic = Critic(task.d, task.m, seed=1)
+                return critic
+        """)
+        assert rules(diags) == {"shape.critic-metrics"}
+
+    def test_width_through_local_binding_fires(self):
+        diags = construction("""
+            def build(task, cfg):
+                n_metrics = task.m
+                return Critic(task.d, n_metrics, seed=1)
+        """)
+        assert rules(diags) == {"shape.critic-metrics"}
+
+    def test_correct_m_plus_one_clean(self):
+        assert construction("""
+            def build(task, cfg):
+                n_metrics = task.m + 1
+                ens = CriticEnsemble(task.d, n_metrics, n_critics=3)
+                return ens
+        """) == []
+
+    def test_bare_passthrough_not_flagged(self):
+        # CriticEnsemble internally does Critic(d, n_metrics, ...) with a
+        # formal parameter — provenance unknown, must stay silent.
+        assert construction("""
+            def make(d, n_metrics):
+                return Critic(d, n_metrics)
+        """) == []
+
+    def test_actor_wrong_dimension_fires(self):
+        diags = construction("""
+            def build(task):
+                return Actor(2 * task.d, seed=0)
+        """)
+        assert "shape.actor-io" in rules(diags)
+
+
+class TestConfigContracts:
+    GOOD_CFG = """
+        class MAOptConfig:
+            n_elite: int = 16
+            ns_samples: int = 2000
+            ns_radius: float = 0.04
+            ns_phase: int = 0
+            t_ns: int = 5
+    """
+    GOOD_EXP = """
+        TUNED_MAOPT = {"n_elite": 24}
+        class BenchConfig:
+            n_init: int = 50
+    """
+
+    def check(self, cfg=None, exp=None):
+        return check_config_sources(
+            textwrap.dedent(cfg or self.GOOD_CFG),
+            textwrap.dedent(exp or self.GOOD_EXP))
+
+    def test_defaults_clean(self):
+        assert self.check() == []
+
+    def test_default_elite_exceeding_population_fires(self):
+        diags = self.check(cfg=self.GOOD_CFG.replace("16", "80"))
+        assert "shape.elite-bound" in rules(diags)
+
+    def test_tuned_elite_exceeding_population_fires(self):
+        diags = self.check(exp=self.GOOD_EXP.replace("24", "64"))
+        assert "shape.elite-bound" in rules(diags)
+
+    def test_empty_ns_box_fires(self):
+        diags = self.check(cfg=self.GOOD_CFG.replace("2000", "0"))
+        assert "shape.ns-box" in rules(diags)
+
+    def test_oversized_radius_fires(self):
+        diags = self.check(cfg=self.GOOD_CFG.replace("0.04", "0.8"))
+        assert "shape.ns-box" in rules(diags)
+
+    def test_phase_beyond_period_fires(self):
+        diags = self.check(
+            cfg=self.GOOD_CFG.replace("ns_phase: int = 0",
+                                      "ns_phase: int = 7"))
+        assert "shape.ns-box" in rules(diags)
+
+
+class TestRepoContracts:
+    def test_installed_package_is_clean(self):
+        assert check_shapes() == []
+
+    def test_missing_tree_degrades_loudly(self, tmp_path):
+        diags = check_shapes(tmp_path)
+        assert rules(diags) == {"shape.contract-missing"}

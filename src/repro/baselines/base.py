@@ -96,10 +96,16 @@ class BaselineOptimizer:
             x_init: np.ndarray | None = None,
             f_init: np.ndarray | None = None) -> OptimizationResult:
         start = time.perf_counter()
+        run_id = self.obs.run_id
+        if run_id is None:
+            from repro.obs.store import new_run_id
+            run_id = new_run_id()
+            if self.obs is not NULL_TELEMETRY:  # the shared default is
+                self.obs.run_id = run_id        # immutable by contract
         self.run_log.emit("run_start", method=self.method_name,
-                          task=self.task.name, n_sims=n_sims)
+                          task=self.task.name, n_sims=n_sims, run_id=run_id)
         with self.obs.span("run", method=self.method_name,
-                           task=self.task.name):
+                           task=self.task.name, run_id=run_id):
             if not self._initialized:
                 self._initialize(n_init, x_init, f_init)
             # t_wall convention (shared with MAOptimizer): the clock starts
@@ -144,11 +150,12 @@ class BaselineOptimizer:
             records=list(self._records),
             init_best_fom=self._init_best_fom,
             wall_time_s=time.perf_counter() - start,
+            meta={"run_id": run_id},
         )
         self.run_log.emit("run_end", method=self.method_name,
                           n_sims=len(self._records), best_fom=result.best_fom,
                           success=result.success,
-                          wall_time_s=result.wall_time_s)
+                          wall_time_s=result.wall_time_s, run_id=run_id)
         self._observers.emit("on_run_end", self, result)
         return result
 

@@ -276,6 +276,54 @@ def _bench_serialize(rng: np.random.Generator):
     return payload, cleanup
 
 
+# -- observability ------------------------------------------------------------
+
+@REGISTRY.register(
+    "micro.obs.event-emit", repeats=5, warmup=1,
+    description="500x RunLogger.emit streamed to a JSONL file (the "
+                "per-evaluation event path, lock + write + flush)")
+def _bench_event_emit(rng: np.random.Generator):
+    from repro.obs.events import RunLogger
+
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-events-")
+    path = os.path.join(tmpdir, "events.jsonl")
+    logger = RunLogger(path=path)
+    fom = float(rng.uniform())
+
+    def payload():
+        for i in range(500):
+            logger.emit("evaluation", kind="actor", index=i, fom=fom,
+                        feasible=True, owner=i % 3)
+
+    def cleanup():
+        logger.close()
+        os.unlink(path)
+        os.rmdir(tmpdir)
+
+    return payload, cleanup
+
+
+@REGISTRY.register(
+    "micro.obs.span-overhead", repeats=5, warmup=1,
+    description="2000 enter/exit pairs of a live traced span plus the "
+                "same count through NULL_TELEMETRY (the ~free no-op path)")
+def _bench_span_overhead(rng: np.random.Generator):
+    from repro.obs import NULL_TELEMETRY, Telemetry, Tracer
+
+    del rng  # pure control-flow overhead; input-free by design
+
+    def payload():
+        tel = Telemetry(tracer=Tracer())
+        for _ in range(2000):
+            with tel.span("hot", kind="bench"):
+                pass
+        for _ in range(2000):
+            with NULL_TELEMETRY.span("hot", kind="bench"):
+                pass
+
+    return payload
+
+
 # -- static analysis ---------------------------------------------------------
 
 @REGISTRY.register(

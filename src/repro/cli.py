@@ -15,6 +15,12 @@ Commands
 ``bench <cmd>``       performance benchmarking: ``run`` the micro/macro
                       suites, ``compare`` two result files (exit 1 on
                       regression), ``list`` the registry.
+``runs <cmd>``        query the durable run store (``--store`` on
+                      optimize/compare): ``list``, ``show``, ``diff``,
+                      ``export`` (json/prom/sarif).
+``tail <run>``        follow a live run's event/metric stream (poll +
+                      offset resume; works on finished runs with
+                      ``--once``).
 
 Tasks: ``ota``, ``tia``, ``ldo``, ``sphere`` (cheap synthetic).
 """
@@ -91,21 +97,29 @@ def _build_telemetry(args: argparse.Namespace):
 
 
 def _finish_telemetry(args: argparse.Namespace, telemetry) -> None:
-    """Export the sinks selected on the command line."""
+    """Export the sinks selected on the command line.
+
+    ``telemetry`` may be the bundle built by :func:`_build_telemetry` or a
+    run-store recorder's bundle (which always carries every channel), so
+    each export is gated on its flag actually being set.
+    """
     if telemetry is None:
         return
-    if telemetry.tracer is not None:
+    if telemetry.tracer is not None and args.trace_out:
         n = telemetry.tracer.export_jsonl(args.trace_out)
         print(f"wrote {n} spans to {args.trace_out}")
         from repro.obs.report import report_from_tracer
 
         print(report_from_tracer(telemetry.tracer))
-    if telemetry.metrics is not None:
+    if telemetry.metrics is not None and args.metrics_out:
         telemetry.metrics.export(args.metrics_out)
         print(f"wrote metrics to {args.metrics_out}")
     if telemetry.run_logger is not None:
         telemetry.run_logger.close()
         if args.events_out:
+            # Store-backed loggers stream into the run directory; the
+            # in-memory dump covers --events-out for both shapes.
+            telemetry.run_logger.export_jsonl(args.events_out)
             print(f"wrote {len(telemetry.run_logger)} events "
                   f"to {args.events_out}")
 
@@ -162,29 +176,53 @@ def cmd_optimize(args: argparse.Namespace) -> int:
                         args)
     resilience = _build_resilience(args)
     telemetry = _build_telemetry(args)
+    recorder = None
+    if args.store:
+        from repro.obs.store import RunStore
+
+        recorder = RunStore(args.store).create_run(
+            method=args.method, task=task.name, base=telemetry,
+            meta={"seed": args.seed, "n_sims": args.sims,
+                  "n_init": args.init})
+        telemetry = recorder.telemetry
+        print(f"run {recorder.run_id} recording to "
+              f"{args.store}/{recorder.run_id} "
+              f"(follow with: ma-opt tail {recorder.run_id})")
     overrides = dict(_MAOPT_TUNED)
     if resilience is not None:
         overrides["resilience"] = resilience
-    if args.resume:
-        if args.method not in _MA_METHODS:
-            raise SystemExit(
-                f"repro: error: --resume supports the MA-Opt family "
-                f"({', '.join(_MA_METHODS)}), not {args.method!r}")
-        from repro.core.ma_opt import MAOptimizer
+    if args.parallel:
+        overrides["parallel"] = True
+    if args.heartbeat:
+        overrides["heartbeat_s"] = args.heartbeat
+    try:
+        if args.resume:
+            if args.method not in _MA_METHODS:
+                raise SystemExit(
+                    f"repro: error: --resume supports the MA-Opt family "
+                    f"({', '.join(_MA_METHODS)}), not {args.method!r}")
+            from repro.core.ma_opt import MAOptimizer
 
-        opt = MAOptimizer.restore(args.resume, task, telemetry=telemetry)
-        print(f"{args.method} on {task.name!r}: resumed from {args.resume} "
-              f"at {len(opt.records)} sims, running to {args.sims}")
-        res = opt.run(n_sims=args.sims, method_name=args.method,
-                      checkpoint_path=args.checkpoint,
-                      checkpoint_every=args.checkpoint_every)
-    else:
-        print(f"{args.method} on {task.name!r}: "
-              f"{args.init} init + {args.sims} sims (seed {args.seed})")
-        x, f = make_initial_set(task, args.init, seed=args.seed,
-                                telemetry=telemetry, resilience=resilience)
-        res = run_method(args.method, task, args.sims, x, f, seed=args.seed,
-                         maopt_overrides=overrides, telemetry=telemetry)
+            opt = MAOptimizer.restore(args.resume, task, telemetry=telemetry)
+            print(f"{args.method} on {task.name!r}: resumed from "
+                  f"{args.resume} at {len(opt.records)} sims, "
+                  f"running to {args.sims}")
+            res = opt.run(n_sims=args.sims, method_name=args.method,
+                          checkpoint_path=args.checkpoint,
+                          checkpoint_every=args.checkpoint_every)
+        else:
+            print(f"{args.method} on {task.name!r}: "
+                  f"{args.init} init + {args.sims} sims (seed {args.seed})")
+            x, f = make_initial_set(task, args.init, seed=args.seed,
+                                    telemetry=telemetry,
+                                    resilience=resilience)
+            res = run_method(args.method, task, args.sims, x, f,
+                             seed=args.seed, maopt_overrides=overrides,
+                             telemetry=telemetry)
+    except Exception as exc:
+        if recorder is not None:
+            recorder.mark_failed(repr(exc))
+        raise
     _finish_telemetry(args, telemetry)
     trace = res.best_fom_trace()
     print(f"best FoM: {trace[0]:.4f} -> {trace[-1]:.4f}; "
@@ -211,12 +249,19 @@ def cmd_compare(args: argparse.Namespace) -> int:
     task = _make_task(args.task, args.fidelity)
     methods = [m.strip() for m in args.methods.split(",") if m.strip()]
     telemetry = _build_telemetry(args)
+    run_store = None
+    if args.store:
+        from repro.obs.store import RunStore
+
+        run_store = RunStore(args.store)
+        print(f"recording each (method, run) cell to {args.store}/")
     results = run_comparison(task, methods, n_runs=args.runs,
                              n_sims=args.sims, n_init=args.init,
                              seed=args.seed, verbose=not args.quiet,
                              maopt_overrides=_MAOPT_TUNED,
                              telemetry=telemetry,
-                             checkpoint_dir=args.checkpoint_dir)
+                             checkpoint_dir=args.checkpoint_dir,
+                             run_store=run_store)
     _finish_telemetry(args, telemetry)
     print()
     print(comparison_table(results, task))
@@ -250,6 +295,118 @@ def cmd_netlist(args: argparse.Namespace) -> int:
     u = np.full(task.d, args.point)
     params = task.space.denormalize(u)
     print(builders[args.task](params).netlist_text())
+    return 0
+
+
+def _cell(value, spec: str = "") -> str:
+    """Table cell: '-' for missing values, formatted otherwise."""
+    if value is None:
+        return "-"
+    return format(value, spec)
+
+
+def cmd_runs_list(args: argparse.Namespace) -> int:
+    from repro.obs.store import RunStore
+
+    records = RunStore(args.store).list_runs()
+    if not records:
+        print(f"no runs in {args.store}/")
+        return 0
+    header = (f"{'run_id':<24} {'status':<9} {'method':<10} {'task':<14} "
+              f"{'sims':>6} {'best_fom':>12} {'ok':>3} {'wall_s':>8}")
+    print(header)
+    print("-" * len(header))
+    for record in records:
+        s = record.summary()
+        ok = "-" if s["success"] is None else ("yes" if s["success"]
+                                               else "no")
+        print(f"{s['run_id']:<24} {_cell(s['status']):<9} "
+              f"{_cell(s['method']):<10} {_cell(s['task']):<14} "
+              f"{_cell(s['n_sims']):>6} {_cell(s['best_fom'], '.6g'):>12} "
+              f"{ok:>3} {_cell(s['wall_time_s'], '.2f'):>8}")
+    return 0
+
+
+def cmd_runs_show(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.store import RunStore
+
+    try:
+        record = RunStore(args.store).load(args.run)
+    except KeyError as exc:
+        raise SystemExit(f"repro: error: {exc.args[0]}")
+    print(_json.dumps(record.manifest, indent=2, sort_keys=True))
+    by_kind: dict[str, int] = {}
+    for event in record.events():
+        kind = str(event.get("event"))
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    if by_kind:
+        print("\nevents:")
+        for kind in sorted(by_kind):
+            print(f"  {kind:<20} {by_kind[kind]}")
+    trace = record.trace_rows()
+    if trace:
+        from repro.obs.report import breakdown, render_breakdown
+
+        print()
+        print(render_breakdown(breakdown(trace),
+                               title=f"wall-time breakdown: {record.run_id}"))
+    return 0
+
+
+def cmd_runs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.store import RunStore, diff_runs
+
+    store = RunStore(args.store)
+    try:
+        diff = diff_runs(store.load(args.a), store.load(args.b))
+    except KeyError as exc:
+        raise SystemExit(f"repro: error: {exc.args[0]}")
+    print(f"diff {diff['a']} .. {diff['b']}")
+    if not diff["fields"] and not diff["counters"]:
+        print("  (no differences)")
+        return 0
+    for name, entry in diff["fields"].items():
+        delta = (f"  (delta {entry['delta']:+g})" if "delta" in entry
+                 else "")
+        print(f"  {name}: {entry['a']} -> {entry['b']}{delta}")
+    for key, entry in diff["counters"].items():
+        print(f"  counter {key}: {entry['a']:g} -> {entry['b']:g} "
+              f"(delta {entry['delta']:+g})")
+    return 0
+
+
+def cmd_runs_export(args: argparse.Namespace) -> int:
+    from repro.obs.store import RunStore, export_run
+
+    try:
+        record = RunStore(args.store).load(args.run)
+        text = export_run(record, args.format)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"repro: error: {exc.args[0]}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.format} export of {record.run_id} "
+              f"to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    from repro.obs.tail import resolve_run_dir, tail_run
+
+    try:
+        run_dir = resolve_run_dir(args.run, store_root=args.store)
+    except KeyError as exc:
+        raise SystemExit(f"repro: error: {exc.args[0]}")
+    try:
+        tail_run(run_dir, poll_s=args.poll, once=args.once,
+                 max_polls=args.max_polls, stall_after_s=args.stall_after)
+    except KeyboardInterrupt:
+        return 130
     return 0
 
 
@@ -577,6 +734,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", metavar="PATH", default=None,
                    help="resume a killed run from a checkpoint written by "
                         "--checkpoint (MA-Opt family)")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="record this run durably under DIR (query with "
+                        "'runs', follow with 'tail')")
+    p.add_argument("--parallel", action="store_true",
+                   help="evaluate actor batches over a process pool "
+                        "(MA-Opt family; one worker per actor)")
+    p.add_argument("--heartbeat", type=float, default=0.0, metavar="S",
+                   help="emit heartbeat events every S seconds while a "
+                        "pooled batch is in flight (MA-Opt family)")
     _add_obs_flags(p)
     p.set_defaults(func=cmd_optimize)
 
@@ -591,6 +757,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint-dir", metavar="DIR", default=None,
                    help="archive each completed (method, run) here and "
                         "skip already-archived cells on re-invocation")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="record every (method, run) cell as its own run "
+                        "under DIR (query with 'runs')")
     _add_obs_flags(p)
     p.set_defaults(func=cmd_compare)
 
@@ -715,6 +884,57 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--format", choices=("text", "json"), default="text",
                    help="aligned text or one JSON object per benchmark")
     b.set_defaults(func=cmd_bench_list)
+
+    p = sub.add_parser(
+        "runs", help="query the durable run store (--store on "
+                     "optimize/compare)")
+    rsub = p.add_subparsers(dest="runs_command", required=True)
+
+    r = rsub.add_parser("list", help="one line per stored run")
+    r.add_argument("--store", metavar="DIR", default="runs",
+                   help="run-store root (default: runs)")
+    r.set_defaults(func=cmd_runs_list)
+
+    r = rsub.add_parser("show", help="manifest, event counts and wall-time "
+                                     "breakdown of one run")
+    r.add_argument("run", help="run ID or unique ID prefix")
+    r.add_argument("--store", metavar="DIR", default="runs",
+                   help="run-store root (default: runs)")
+    r.set_defaults(func=cmd_runs_show)
+
+    r = rsub.add_parser("diff", help="compare two runs field by field")
+    r.add_argument("a", help="first run ID or prefix")
+    r.add_argument("b", help="second run ID or prefix")
+    r.add_argument("--store", metavar="DIR", default="runs",
+                   help="run-store root (default: runs)")
+    r.set_defaults(func=cmd_runs_diff)
+
+    r = rsub.add_parser(
+        "export", help="render one run as json (full bundle), prom "
+                       "(Prometheus text) or sarif (diagnostics)")
+    r.add_argument("run", help="run ID or unique ID prefix")
+    r.add_argument("--format", choices=("json", "prom", "sarif"),
+                   default="json")
+    r.add_argument("--output", metavar="PATH", default=None,
+                   help="write here instead of stdout")
+    r.add_argument("--store", metavar="DIR", default="runs",
+                   help="run-store root (default: runs)")
+    r.set_defaults(func=cmd_runs_export)
+
+    p = sub.add_parser(
+        "tail", help="follow a live run's event/metric stream")
+    p.add_argument("run", help="run ID, unique ID prefix, or run directory")
+    p.add_argument("--store", metavar="DIR", default="runs",
+                   help="run-store root for ID lookup (default: runs)")
+    p.add_argument("--poll", type=float, default=0.5, metavar="S",
+                   help="poll interval in seconds (default: 0.5)")
+    p.add_argument("--once", action="store_true",
+                   help="render the current state once and exit")
+    p.add_argument("--max-polls", type=int, default=None, metavar="N",
+                   help="stop after N polls (default: follow until run_end)")
+    p.add_argument("--stall-after", type=float, default=30.0, metavar="S",
+                   help="flag a stall after S seconds without new data")
+    p.set_defaults(func=cmd_tail)
     return parser
 
 

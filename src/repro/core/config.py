@@ -131,6 +131,10 @@ class MAOptConfig:
 
     # execution
     parallel: bool = False     # multiprocessing over actors (Section II-B)
+    # Pooled-batch heartbeat cadence in seconds (0 = off): while a pool
+    # batch is in flight, heartbeat run events keep stalls visible to
+    # ``ma-opt tail`` and other event-stream consumers.
+    heartbeat_s: float = 0.0
     seed: int | None = None
 
     # failure policy + checkpoint cadence; None keeps the legacy behavior
@@ -164,6 +168,8 @@ class MAOptConfig:
         if self.ucb_beta > 0 and self.n_critics < 2:
             raise ValueError("ucb_beta requires a critic ensemble "
                              "(n_critics >= 2)")
+        if self.heartbeat_s < 0:
+            raise ValueError("heartbeat_s must be >= 0")
 
     def to_dict(self) -> dict:
         """JSON-safe dict (checkpoint headers); inverse of :meth:`from_dict`.

@@ -106,6 +106,7 @@ class MAOptimizer:
         self._executor = SimulationExecutor(
             task, n_workers=self.config.n_actors if self.config.parallel else 0,
             telemetry=self.obs, resilience=self.config.resilience,
+            heartbeat_s=self.config.heartbeat_s,
         )
         self._round = 0
         self._records: list[EvaluationRecord] = []
@@ -310,8 +311,14 @@ class MAOptimizer:
             ckpt_every = res_cfg.checkpoint_every if res_cfg is not None else 0
         start = time.perf_counter()
         name = method_name or self._default_name()
+        run_id = self.obs.run_id
+        if run_id is None:
+            from repro.obs.store import new_run_id
+            run_id = new_run_id()
+            if self.obs is not NULL_TELEMETRY:  # the shared default is
+                self.obs.run_id = run_id        # immutable by contract
         self.run_log.emit("run_start", method=name, task=self.task.name,
-                          n_sims=n_sims)
+                          n_sims=n_sims, run_id=run_id)
         # Budget-aware config checks: logged, never raised — a deliberate
         # tiny-budget run (tests, smoke runs) must not be blocked here.
         n_have = len(self.total.foms) if self._initialized else n_init
@@ -320,7 +327,8 @@ class MAOptimizer:
             self.run_log.emit("config_warning", rule=diag.rule,
                               severity=str(diag.severity),
                               message=diag.message, fix=diag.fix)
-        with self.obs.span("run", method=name, task=self.task.name):
+        with self.obs.span("run", method=name, task=self.task.name,
+                           run_id=run_id):
             with self._executor:
                 if not self._initialized:
                     self.initialize(n_init=n_init, x_init=x_init,
@@ -339,11 +347,11 @@ class MAOptimizer:
             init_best_fom=self._init_best_fom,
             wall_time_s=time.perf_counter() - start,
             meta={"rounds": self._round, "config": self.config,
-                  "diagnostics": self.diagnostics},
+                  "diagnostics": self.diagnostics, "run_id": run_id},
         )
         self.run_log.emit("run_end", method=name, n_sims=len(self._records),
                           best_fom=result.best_fom, success=result.success,
-                          wall_time_s=result.wall_time_s)
+                          wall_time_s=result.wall_time_s, run_id=run_id)
         self._observers.emit("on_run_end", self, result)
         return result
 

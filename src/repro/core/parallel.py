@@ -32,6 +32,18 @@ events plus ``sim_retries_total`` / ``sim_failures_total`` counters, and
 their per-design outcomes stay readable on
 :attr:`~SimulationExecutor.last_outcomes`.
 
+**Worker telemetry** (:mod:`repro.obs.telemetry`): when the attached
+telemetry has a tracer or metrics registry, each pool worker is
+initialized with its own :class:`~repro.obs.telemetry.WorkerTelemetry`.
+Spans (``worker-evaluate``, per-retry ``sim-attempt``) and counters
+recorded inside the worker ship back with each task result as a picklable
+:class:`~repro.obs.telemetry.WorkerCapture` and are grafted into the
+parent tracer under the owning ``simulate`` span with ``pid``/``seq``
+attributes — pooled simulation is no longer a tracing black box.  With
+``heartbeat_s > 0`` a daemon thread additionally emits ``heartbeat`` run
+events while a pooled batch is in flight, so stalls and crashed workers
+are visible before the batch returns.
+
 The task object must be picklable for the parallel path — all tasks in
 :mod:`repro.circuits` and :mod:`repro.core.synthetic` are (including the
 :class:`~repro.resilience.faults.FaultyTask` wrapper).
@@ -41,6 +53,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing as mp
+import threading
 import time
 from dataclasses import dataclass
 
@@ -49,6 +62,7 @@ import numpy as np
 from repro.core.config import ResilienceConfig
 from repro.core.problem import SizingTask
 from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs.telemetry import WorkerCapture, WorkerTelemetry, absorb_capture
 from repro.resilience.policy import (
     SimOutcome,
     evaluate_design,
@@ -59,6 +73,7 @@ from repro.resilience.policy import (
 # and policy are shipped once per worker instead of once per design).
 _WORKER_TASK: SizingTask | None = None
 _WORKER_POLICY: ResilienceConfig | None = None
+_WORKER_TELEMETRY: WorkerTelemetry | None = None
 
 
 def worker_side(fn):
@@ -81,23 +96,35 @@ _WATCHDOG_SLACK_S = 5.0
 
 @worker_side
 def _init_worker(task: SizingTask,
-                 policy: ResilienceConfig | None = None) -> None:
+                 policy: ResilienceConfig | None = None,
+                 capture: bool = False) -> None:
     # These globals are the *per-worker* slots this initializer exists to
     # fill — each spawn worker populates its own copy, and nothing in the
     # parent ever reads them.
-    global _WORKER_TASK, _WORKER_POLICY
+    global _WORKER_TASK, _WORKER_POLICY, _WORKER_TELEMETRY
     _WORKER_TASK = task        # repro: ignore[flow.conc.global-write]
     _WORKER_POLICY = policy    # repro: ignore[flow.conc.global-write]
+    _WORKER_TELEMETRY = (      # repro: ignore[flow.conc.global-write]
+        WorkerTelemetry() if capture else None)
 
 
 @worker_side
-def _evaluate_one(u: np.ndarray) -> tuple[np.ndarray, float]:
-    """Evaluate one design in a worker; returns (metrics, seconds)."""
+def _evaluate_one(u: np.ndarray
+                  ) -> tuple[np.ndarray, float, WorkerCapture | None]:
+    """Evaluate one design in a worker; returns (metrics, seconds, capture)."""
     if _WORKER_TASK is None:  # pragma: no cover - defensive
         raise RuntimeError("worker not initialized")
+    wt = _WORKER_TELEMETRY  # per-worker recorder; shipped back, never shared
+    if wt is None:
+        t0 = time.perf_counter()
+        metrics = _WORKER_TASK.evaluate(u)
+        return metrics, time.perf_counter() - t0, None
     t0 = time.perf_counter()
-    metrics = _WORKER_TASK.evaluate(u)
-    return metrics, time.perf_counter() - t0
+    with wt.span("worker-evaluate"):
+        metrics = _WORKER_TASK.evaluate(u)
+    dt = time.perf_counter() - t0
+    wt.inc("worker_sims_total")
+    return metrics, dt, wt.drain()
 
 
 @worker_side
@@ -106,8 +133,55 @@ def _evaluate_one_resilient(u: np.ndarray,
     """Worker-side retry loop; mirrors the serial path exactly."""
     if _WORKER_TASK is None or _WORKER_POLICY is None:  # pragma: no cover
         raise RuntimeError("worker not initialized with a policy")
-    return evaluate_design(_WORKER_TASK, u, _WORKER_POLICY,
-                           start_attempt=start_attempt)
+    wt = _WORKER_TELEMETRY  # per-worker recorder; shipped back, never shared
+    if wt is None:
+        return evaluate_design(_WORKER_TASK, u, _WORKER_POLICY,
+                               start_attempt=start_attempt)
+    with wt.span("worker-evaluate", resilient=True):
+        out = evaluate_design(_WORKER_TASK, u, _WORKER_POLICY,
+                              start_attempt=start_attempt, obs=wt)
+    out.capture = wt.drain()
+    return out
+
+
+class _Heartbeat:
+    """Daemon thread beating while a pooled batch is in flight.
+
+    Each beat refreshes the ``pool_workers_busy`` gauge, emits a
+    ``heartbeat`` run event (elapsed seconds, batch size, worker count,
+    beat number) and fires the ``on_heartbeat`` observer hook — so a tail
+    client watching the event stream can tell a slow batch from a wedged
+    pool even though the dispatching thread is blocked in the pool call.
+    """
+
+    def __init__(self, obs: Telemetry, interval_s: float,
+                 n: int, n_workers: int) -> None:
+        self.obs = obs
+        self.interval_s = interval_s
+        self.n = n
+        self.n_workers = n_workers
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="sim-heartbeat", daemon=True)
+        self._t0 = time.perf_counter()
+        self._thread.start()
+
+    def _run(self) -> None:
+        beats = 0
+        while not self._stop.wait(self.interval_s):
+            beats += 1
+            elapsed = time.perf_counter() - self._t0
+            info = {"elapsed_s": round(elapsed, 3), "n": self.n,
+                    "workers": self.n_workers, "beats": beats}
+            self.obs.set_gauge("pool_workers_busy",
+                               min(self.n_workers, self.n))
+            if self.obs.run_logger is not None:
+                self.obs.run_logger.emit("heartbeat", **info)
+            self.obs.observers.emit("on_heartbeat", "pool", info)
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self.interval_s + 1.0)
 
 
 @dataclass
@@ -134,14 +208,21 @@ class SimulationExecutor:
     def __init__(self, task: SizingTask, n_workers: int = 0,
                  telemetry: Telemetry | None = None,
                  resilience: ResilienceConfig | None = None,
-                 lint_gate: bool = True) -> None:
+                 lint_gate: bool = True,
+                 heartbeat_s: float = 0.0) -> None:
         if n_workers < 0:
             raise ValueError("n_workers must be >= 0")
+        if heartbeat_s < 0:
+            raise ValueError("heartbeat_s must be >= 0")
         self.task = task
         self.n_workers = n_workers
         self.obs = telemetry or NULL_TELEMETRY
         self.policy = resilience
         self.lint_gate = lint_gate
+        self.heartbeat_s = heartbeat_s
+        # Ship WorkerTelemetry into pool workers only when someone is
+        # listening parent-side (tracer or metrics attached).
+        self._capture = self.obs.wants_worker_capture
         self.batch_timings: list[BatchTiming] = []
         #: Per-design outcomes of the most recent policy-path batch.
         self.last_outcomes: list[SimOutcome] = []
@@ -157,7 +238,7 @@ class SimulationExecutor:
             self._pool = ctx.Pool(
                 processes=self.n_workers,
                 initializer=_init_worker,
-                initargs=(self.task, self.policy),
+                initargs=(self.task, self.policy, self._capture),
             )
         return self._pool
 
@@ -197,12 +278,26 @@ class SimulationExecutor:
         use_pool = self.n_workers > 0 and len(designs) > 1
         t_batch = time.perf_counter()
         with self.obs.span("simulate", n=len(designs), kind=kind,
-                           parallel=use_pool):
-            if self.policy is None:
-                metrics, durations = self._plain_batch(designs, use_pool)
-            else:
-                metrics, durations = self._policy_batch(designs, use_pool,
-                                                        kind)
+                           parallel=use_pool) as sim_span:
+            heartbeat = (_Heartbeat(self.obs, self.heartbeat_s,
+                                    len(designs), self.n_workers)
+                         if use_pool and self.heartbeat_s > 0 else None)
+            try:
+                if self.policy is None:
+                    metrics, durations, captures = self._plain_batch(
+                        designs, use_pool)
+                else:
+                    metrics, durations, captures = self._policy_batch(
+                        designs, use_pool, kind)
+            finally:
+                if heartbeat is not None:
+                    heartbeat.stop()
+            # Graft worker-recorded telemetry while the simulate span is
+            # still the live parent (NOOP spans enter as None — metrics
+            # still merge, spans are dropped).
+            for cap in captures:
+                if cap is not None:
+                    absorb_capture(self.obs, cap, sim_span)
         wall = time.perf_counter() - t_batch
         self.batch_timings.append(BatchTiming(
             n=len(designs), kind=kind, wall_s=wall,
@@ -229,10 +324,11 @@ class SimulationExecutor:
         from repro.analysis.diagnostics import Severity
 
         rejected: dict[int, list] = {}
-        for i, u in enumerate(designs):
-            errors = [d for d in lint(u) if d.severity >= Severity.ERROR]
-            if errors:
-                rejected[i] = errors
+        with self.obs.span("lint-gate", n=len(designs), kind=kind):
+            for i, u in enumerate(designs):
+                errors = [d for d in lint(u) if d.severity >= Severity.ERROR]
+                if errors:
+                    rejected[i] = errors
         self.last_lint_rejections = rejected
         if rejected:
             self.obs.inc("lint_rejections_total", len(rejected), kind=kind)
@@ -245,7 +341,8 @@ class SimulationExecutor:
         return rejected
 
     def _plain_batch(self, designs: np.ndarray, use_pool: bool
-                     ) -> tuple[np.ndarray, list[float]]:
+                     ) -> tuple[np.ndarray, list[float],
+                                list[WorkerCapture | None]]:
         """Legacy path (no failure policy): evaluate, let exceptions fly."""
         if not use_pool:
             outputs, durations = [], []
@@ -253,21 +350,27 @@ class SimulationExecutor:
                 t0 = time.perf_counter()
                 outputs.append(self.task.evaluate(u))
                 durations.append(time.perf_counter() - t0)
-            return np.stack(outputs), durations
+            return np.stack(outputs), durations, []
         pool = self._ensure_pool()
         self.obs.set_gauge("pool_workers_busy",
                            min(self.n_workers, len(designs)))
-        results = pool.map(_evaluate_one, list(designs))
-        self.obs.set_gauge("pool_workers_busy", 0)
-        return np.stack([m for m, _ in results]), [dt for _, dt in results]
+        try:
+            results = pool.map(_evaluate_one, list(designs))
+        finally:
+            # An exception mid-batch must not leave a stale busy count.
+            self.obs.set_gauge("pool_workers_busy", 0)
+        return (np.stack([m for m, _, _ in results]),
+                [dt for _, dt, _ in results],
+                [cap for _, _, cap in results])
 
     def _policy_batch(self, designs: np.ndarray, use_pool: bool, kind: str
-                      ) -> tuple[np.ndarray, list[float]]:
+                      ) -> tuple[np.ndarray, list[float],
+                                 list[WorkerCapture | None]]:
         """Failure-policy path: retries, quarantine, pool watchdog."""
         policy = self.policy
         assert policy is not None
         if not use_pool:
-            outcomes = [evaluate_design(self.task, u, policy)
+            outcomes = [evaluate_design(self.task, u, policy, obs=self.obs)
                         for u in designs]
         else:
             outcomes = self._pool_outcomes(designs, policy)
@@ -284,7 +387,8 @@ class SimulationExecutor:
                         error=out.error)
         metrics = np.stack([out.metrics for out in outcomes])
         durations = [out.seconds for out in outcomes]
-        return metrics, durations
+        captures = [out.capture for out in outcomes]
+        return metrics, durations, captures
 
     def _attempt_budget_s(self, policy: ResilienceConfig) -> float:
         """Worst-case worker-side seconds for one design's full retry loop."""

@@ -100,7 +100,8 @@ def run_comparison(task: SizingTask, methods: list[str] | tuple[str, ...],
                    maopt_overrides: dict | None = None,
                    verbose: bool = False,
                    telemetry=None,
-                   checkpoint_dir: str | pathlib.Path | None = None
+                   checkpoint_dir: str | pathlib.Path | None = None,
+                   run_store=None
                    ) -> dict[str, list[OptimizationResult]]:
     """The full Table II/IV/VI experiment for one circuit.
 
@@ -114,6 +115,10 @@ def run_comparison(task: SizingTask, methods: list[str] | tuple[str, ...],
     same directory loads the archives instead of re-running those cells.
     Simulation budgets are the expensive resource, so a killed comparison
     loses at most one in-flight run.
+
+    With ``run_store`` (a :class:`repro.obs.store.RunStore`) every
+    (method, repeat) cell additionally gets its own durable run record —
+    ``ma-opt runs list`` then shows the whole study as comparable rows.
     """
     from repro.core.serialize import load_result, save_result
 
@@ -138,10 +143,23 @@ def run_comparison(task: SizingTask, methods: list[str] | tuple[str, ...],
                     print(f"[run {r}] {method:8s} restored from checkpoint "
                           f"(best_fom={res.best_fom:.4g})")
                 continue
-            res = run_method(method, task, n_sims, x_init, f_init,
-                             seed=run_seed * 1000 + 7,
-                             maopt_overrides=maopt_overrides,
-                             telemetry=telemetry)
+            recorder = None
+            cell_telemetry = telemetry
+            if run_store is not None:
+                recorder = run_store.create_run(
+                    method=method, task=task.name, base=telemetry,
+                    meta={"repeat": r, "n_sims": n_sims, "n_init": n_init,
+                          "seed": run_seed})
+                cell_telemetry = recorder.telemetry
+            try:
+                res = run_method(method, task, n_sims, x_init, f_init,
+                                 seed=run_seed * 1000 + 7,
+                                 maopt_overrides=maopt_overrides,
+                                 telemetry=cell_telemetry)
+            except Exception as exc:
+                if recorder is not None:
+                    recorder.mark_failed(repr(exc))
+                raise
             results[method].append(res)
             if checkpoint_dir is not None:
                 save_result(res, checkpoint_dir / _checkpoint_name(method, r))

@@ -10,13 +10,23 @@ Four channels, bundled by :class:`Telemetry`:
   optimizers.
 
 :mod:`repro.obs.report` turns a trace into a per-phase wall-time
-breakdown table.  See ``docs/observability.md`` for the full reference.
+breakdown table; :mod:`repro.obs.store` gives every run a durable on-disk
+record (``ma-opt runs``); :mod:`repro.obs.tail` follows a live run's
+event/metric streams (``ma-opt tail``).  See ``docs/observability.md``
+for the full reference.
 """
 
 from repro.obs.events import RunEvent, RunLogger, configure_logging
 from repro.obs.hooks import BaseObserver, ObserverList, ObserverProtocol
-from repro.obs.metrics import MetricsRegistry
-from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs.metrics import MetricsRegistry, render_prometheus
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    WorkerCapture,
+    WorkerTelemetry,
+    absorb_capture,
+)
+from repro.obs.store import RunRecord, RunRecorder, RunStore, new_run_id
 from repro.obs.trace import NOOP_SPAN, Span, Tracer
 
 __all__ = [
@@ -28,8 +38,16 @@ __all__ = [
     "ObserverProtocol",
     "RunEvent",
     "RunLogger",
+    "RunRecord",
+    "RunRecorder",
+    "RunStore",
     "Span",
     "Telemetry",
     "Tracer",
+    "WorkerCapture",
+    "WorkerTelemetry",
+    "absorb_capture",
     "configure_logging",
+    "new_run_id",
+    "render_prometheus",
 ]

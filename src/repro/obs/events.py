@@ -23,6 +23,8 @@ checkpoint_saved     path, round or n_records — an optimizer snapshot
                      was written atomically
 checkpoint_restored  path, round or n_records — an optimizer was rebuilt
                      from a snapshot
+heartbeat            elapsed_s, n, workers, beats — emitted by the pool's
+                     heartbeat thread while a batch is in flight
 =================== ====================================================
 
 ``MAOptimizer.diagnostics`` is a backward-compatible view over the
@@ -33,6 +35,7 @@ from __future__ import annotations
 
 import json
 import logging
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, TextIO
@@ -90,6 +93,10 @@ class RunLogger:
                  level: int = logging.INFO) -> None:
         self._t0 = time.perf_counter()
         self._events: list[RunEvent] = []
+        # emit() is called from the optimizer thread *and* the pool
+        # heartbeat thread; the lock keeps the in-memory list and the
+        # JSONL file line-atomic under that concurrency.
+        self._lock = threading.Lock()
         self._fh: TextIO | None = (
             open(path, "w", encoding="utf-8") if path else None)
         if isinstance(logger, str):
@@ -99,13 +106,14 @@ class RunLogger:
 
     # -- emission ------------------------------------------------------------
     def emit(self, kind: str, /, **payload: Any) -> RunEvent:
-        """Record one event; returns it."""
+        """Record one event; returns it.  Safe to call from any thread."""
         event = RunEvent(kind, time.perf_counter() - self._t0, payload)
-        self._events.append(event)
-        if self._fh is not None:
-            self._fh.write(json.dumps(event.to_dict(),
-                                      default=_json_default) + "\n")
-            self._fh.flush()
+        with self._lock:
+            self._events.append(event)
+            if self._fh is not None:
+                self._fh.write(json.dumps(event.to_dict(),
+                                          default=_json_default) + "\n")
+                self._fh.flush()
         if self._logger is not None:
             self._logger.log(
                 self._level, "%s %s", kind,
@@ -115,18 +123,35 @@ class RunLogger:
     # -- inspection ----------------------------------------------------------
     def events(self, kind: str | None = None) -> list[RunEvent]:
         """All events so far, optionally filtered by kind."""
+        with self._lock:
+            snapshot = list(self._events)
         if kind is None:
-            return list(self._events)
-        return [e for e in self._events if e.kind == kind]
+            return snapshot
+        return [e for e in snapshot if e.kind == kind]
+
+    def export_jsonl(self, path: str) -> int:
+        """Dump the in-memory events to ``path``; returns the event count.
+
+        Complements the streaming ``path=`` mode: a logger that ran purely
+        in memory can still leave a durable event record afterwards.
+        """
+        events = self.events()
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in events:
+                fh.write(json.dumps(event.to_dict(),
+                                    default=_json_default) + "\n")
+        return len(events)
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._events)
 
     def close(self) -> None:
         """Close the JSONL file (idempotent); in-memory events remain."""
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "RunLogger":
         return self

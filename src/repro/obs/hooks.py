@@ -33,6 +33,8 @@ class ObserverProtocol(Protocol):
 
     def on_checkpoint(self, optimizer: Any, path: Any) -> None: ...
 
+    def on_heartbeat(self, source: str, info: dict) -> None: ...
+
 
 class BaseObserver:
     """No-op implementation; subclass and override what you need."""
@@ -52,6 +54,11 @@ class BaseObserver:
         pass
 
     def on_checkpoint(self, optimizer: Any, path: Any) -> None:
+        pass
+
+    def on_heartbeat(self, source: str, info: dict) -> None:
+        # Fired from the pool's heartbeat thread, not the optimizer
+        # thread — overrides must be thread-safe.
         pass
 
 

@@ -1,0 +1,253 @@
+"""Live run monitoring: follow a run's event/metric streams as it happens.
+
+``ma-opt tail <run-id|path>`` polls the run directory the store writes
+(``events.jsonl`` + ``metrics.jsonl``), reading only bytes appended since
+the previous poll (offset resume — a restarted tail picks up where the
+files are, not from scratch), and renders a one-screen status: run
+phase, round/evaluation progress, best FoM, failure counts, sim-latency
+p50/p95, pool busy gauge, and the age of the last heartbeat.
+
+The reader is deliberately decoupled from the writer: it only ever opens
+files, so it can run in another process, on another machine over a
+shared filesystem, or after the run finished (``--once`` prints the
+final state and exits).  A run that stops appending without a
+``run_end`` event is flagged as stalled after ``stall_after_s``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.obs.store import EVENTS, METRICS_STREAM, RunStore
+
+
+def read_new_lines(path: str | pathlib.Path,
+                   offset: int) -> tuple[list[str], int]:
+    """Complete lines appended to ``path`` since byte ``offset``.
+
+    Returns ``(lines, new_offset)``.  A trailing partial line (writer
+    mid-append) is left for the next call; a missing file reads as empty.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return [], offset
+    size = path.stat().st_size
+    if size <= offset:
+        return [], offset
+    with open(path, "rb") as fh:
+        fh.seek(offset)
+        chunk = fh.read(size - offset)
+    # Only consume up to the last newline; the remainder is in flight.
+    end = chunk.rfind(b"\n")
+    if end < 0:
+        return [], offset
+    lines = chunk[:end].decode("utf-8", errors="replace").split("\n")
+    return [ln for ln in lines if ln.strip()], offset + end + 1
+
+
+@dataclass
+class TailState:
+    """Rolling view of one run, updated event-by-event."""
+
+    run_id: str = "?"
+    method: str = "?"
+    task: str = "?"
+    status: str = "waiting"     # waiting | running | finished | failed
+    n_sims_target: int | None = None
+    evaluations: int = 0
+    rounds: int = 0
+    best_fom: float | None = None
+    failures: int = 0
+    lint_rejections: int = 0
+    retries: float = 0.0
+    last_heartbeat: dict | None = None
+    workers_busy: float | None = None
+    sim_p50: float | None = None
+    sim_p95: float | None = None
+    last_event_t: float | None = None   # writer clock of the latest event
+    events_seen: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def apply_event(self, row: dict) -> None:
+        """Fold one ``events.jsonl`` row into the state."""
+        kind = row.get("event")
+        self.events_seen += 1
+        if "t" in row:
+            self.last_event_t = float(row["t"])
+        if kind == "run_start":
+            self.status = "running"
+            self.method = str(row.get("method", self.method))
+            self.task = str(row.get("task", self.task))
+            if row.get("run_id"):
+                self.run_id = str(row["run_id"])
+            if row.get("n_sims") is not None:
+                self.n_sims_target = int(row["n_sims"])
+        elif kind == "evaluation":
+            # Budget convention: n_sims counts post-init simulations only.
+            if row.get("kind") != "init":
+                self.evaluations += 1
+            fom = row.get("fom")
+            if fom is not None and (self.best_fom is None
+                                    or fom < self.best_fom):
+                self.best_fom = float(fom)
+        elif kind == "round_end":
+            self.rounds = max(self.rounds, int(row.get("round", 0)))
+            if row.get("best_fom") is not None:
+                self.best_fom = float(row["best_fom"])
+        elif kind == "sim_failed":
+            self.failures += 1
+        elif kind == "lint_rejected":
+            self.lint_rejections += 1
+        elif kind == "heartbeat":
+            self.last_heartbeat = {k: v for k, v in row.items()
+                                   if k != "event"}
+        elif kind == "run_end":
+            self.status = "finished"
+            if row.get("best_fom") is not None:
+                self.best_fom = float(row["best_fom"])
+
+    def apply_metrics(self, snap: dict) -> None:
+        """Fold one ``metrics.jsonl`` snapshot into the state."""
+        gauges = snap.get("gauges", {})
+        if "pool_workers_busy" in gauges:
+            self.workers_busy = float(gauges["pool_workers_busy"])
+        for key, stats in snap.get("histograms", {}).items():
+            if key.startswith("sim_latency_s") and stats.get("count"):
+                self.sim_p50 = stats.get("p50")
+                self.sim_p95 = stats.get("p95")
+        for key, value in snap.get("counters", {}).items():
+            if key.startswith("sim_retries_total"):
+                self.retries = max(self.retries, float(value))
+
+
+def _fmt(value: Any, spec: str = "") -> str:
+    if value is None:
+        return "-"
+    return format(value, spec)
+
+
+def render(state: TailState, stalled_s: float | None = None) -> str:
+    """One-screen text rendering of a :class:`TailState`."""
+    progress = str(state.evaluations)
+    if state.n_sims_target:
+        pct = 100.0 * state.evaluations / state.n_sims_target
+        progress = f"{state.evaluations}/{state.n_sims_target} ({pct:.0f}%)"
+    lines = [
+        f"run {state.run_id}  [{state.status}]  "
+        f"method={state.method}  task={state.task}",
+        f"  sims {progress}  rounds {state.rounds}  "
+        f"best_fom {_fmt(state.best_fom, '.6g')}",
+        f"  failures {state.failures}  retries {state.retries:g}  "
+        f"lint_rejected {state.lint_rejections}",
+        f"  sim latency p50 {_fmt(state.sim_p50, '.4g')}s  "
+        f"p95 {_fmt(state.sim_p95, '.4g')}s  "
+        f"workers busy {_fmt(state.workers_busy, 'g')}",
+    ]
+    if state.last_heartbeat is not None:
+        hb = state.last_heartbeat
+        lines.append(
+            f"  heartbeat #{hb.get('beats', '?')} at t={hb.get('t', '?')}s "
+            f"(batch n={hb.get('n', '?')}, workers={hb.get('workers', '?')})")
+    if stalled_s is not None:
+        lines.append(f"  ** no new data for {stalled_s:.0f}s — "
+                     "run may be stalled or dead **")
+    return "\n".join(lines)
+
+
+def resolve_run_dir(ref: str, store_root: str = "runs") -> pathlib.Path:
+    """Run directory for a path, a run ID, or a unique ID prefix."""
+    as_path = pathlib.Path(ref)
+    if as_path.is_dir():
+        return as_path
+    return RunStore(store_root).resolve(ref)
+
+
+def tail_run(run_dir: str | pathlib.Path,
+             poll_s: float = 0.5,
+             once: bool = False,
+             max_polls: int | None = None,
+             stall_after_s: float = 30.0,
+             out: Any = None,
+             sleep: Callable[[float], None] = time.sleep) -> TailState:
+    """Follow a run directory until it finishes (or ``once``/``max_polls``).
+
+    Prints a re-rendered status block after every poll that saw new data.
+    Returns the final :class:`TailState` (the testable core —
+    ``read_new_lines`` + state folding do all the work; the CLI is a thin
+    wrapper).
+    """
+    run_dir = pathlib.Path(run_dir)
+    out = out if out is not None else sys.stdout
+    state = TailState(run_id=run_dir.name)
+    ev_offset = mt_offset = 0
+    last_data = time.perf_counter()
+    polls = 0
+    while True:
+        polls += 1
+        ev_lines, ev_offset = read_new_lines(run_dir / EVENTS, ev_offset)
+        mt_lines, mt_offset = read_new_lines(run_dir / METRICS_STREAM,
+                                             mt_offset)
+        fresh = bool(ev_lines or mt_lines)
+        for line in ev_lines:
+            state.apply_event(json.loads(line))
+        for line in mt_lines:
+            state.apply_metrics(json.loads(line))
+        now = time.perf_counter()
+        if fresh:
+            last_data = now
+        stalled = (now - last_data if state.status == "running"
+                   and now - last_data >= stall_after_s else None)
+        if fresh or once or stalled is not None:
+            print(render(state, stalled_s=stalled), file=out, flush=True)
+        if once or state.status == "finished":
+            return state
+        if max_polls is not None and polls >= max_polls:
+            return state
+        sleep(poll_s)
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.tail",
+        description="follow a live (or finished) run's event/metric stream")
+    parser.add_argument("run", help="run ID, unique ID prefix, or run "
+                                    "directory path")
+    parser.add_argument("--store", default="runs",
+                        help="run-store root for ID lookup (default: runs)")
+    parser.add_argument("--poll", type=float, default=0.5,
+                        help="poll interval in seconds (default: 0.5)")
+    parser.add_argument("--once", action="store_true",
+                        help="render the current state once and exit")
+    parser.add_argument("--max-polls", type=int, default=None,
+                        help="stop after this many polls (default: follow "
+                             "until run_end)")
+    parser.add_argument("--stall-after", type=float, default=30.0,
+                        help="seconds without new data before flagging a "
+                             "stall (default: 30)")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        run_dir = resolve_run_dir(args.run, store_root=args.store)
+    except KeyError as exc:
+        print(f"repro.obs.tail: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if not os.path.isdir(run_dir):
+        print(f"repro.obs.tail: error: no run directory at {run_dir}",
+              file=sys.stderr)
+        return 2
+    try:
+        tail_run(run_dir, poll_s=args.poll, once=args.once,
+                 max_polls=args.max_polls, stall_after_s=args.stall_after)
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

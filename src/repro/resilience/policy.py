@@ -25,10 +25,12 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.core.config import ResilienceConfig
+from repro.obs.trace import NOOP_SPAN
 
 __all__ = [
     "InjectedFault",
@@ -69,11 +71,14 @@ class SimOutcome:
     failed: bool = False
     reason: str | None = None   # "exception" | "nonfinite" | "timeout"
     error: str | None = None    # repr of the last exception, if any
+    #: Telemetry recorded in the worker while this design ran
+    #: (:class:`~repro.obs.telemetry.WorkerCapture`); None on serial paths.
+    capture: Any = None
 
     def merged_retries(self, extra: int) -> "SimOutcome":
         """Copy with ``extra`` caller-side retries (pool re-dispatch) added."""
         return SimOutcome(self.metrics, self.seconds, self.retries + extra,
-                          self.failed, self.reason, self.error)
+                          self.failed, self.reason, self.error, self.capture)
 
 
 def penalty_metrics(task) -> np.ndarray:
@@ -121,11 +126,15 @@ def _call_evaluate(task, u: np.ndarray, attempt: int) -> np.ndarray:
 
 
 def evaluate_design(task, u: np.ndarray, policy: ResilienceConfig,
-                    start_attempt: int = 0) -> SimOutcome:
+                    start_attempt: int = 0, obs: Any = None) -> SimOutcome:
     """Evaluate one design under the failure policy (the retry loop).
 
     ``start_attempt`` charges attempts already consumed elsewhere (the
-    pool path uses it after a timed-out dispatch).  Never raises unless
+    pool path uses it after a timed-out dispatch).  ``obs`` is an optional
+    span source (:class:`~repro.obs.telemetry.Telemetry` serially,
+    :class:`~repro.obs.telemetry.WorkerTelemetry` inside a pool worker):
+    each attempt is wrapped in a ``sim-attempt`` span so retries are
+    visible in the trace on both execution paths.  Never raises unless
     ``policy.quarantine_failures`` is off.
     """
     u = np.asarray(u, dtype=float)
@@ -134,12 +143,14 @@ def evaluate_design(task, u: np.ndarray, policy: ResilienceConfig,
     reason = error = None
     for attempt in range(start_attempt, policy.max_retries + 1):
         try:
-            metrics = np.asarray(_call_evaluate(task, u, attempt),
-                                 dtype=float)
-            if policy.quarantine_nonfinite and not np.all(
-                    np.isfinite(metrics)):
-                raise NonFiniteMetrics(
-                    f"non-finite metrics at attempt {attempt}")
+            with (obs.span("sim-attempt", attempt=attempt)
+                  if obs is not None else NOOP_SPAN):
+                metrics = np.asarray(_call_evaluate(task, u, attempt),
+                                     dtype=float)
+                if policy.quarantine_nonfinite and not np.all(
+                        np.isfinite(metrics)):
+                    raise NonFiniteMetrics(
+                        f"non-finite metrics at attempt {attempt}")
             return SimOutcome(metrics, time.perf_counter() - t0, retries)
         except Exception as exc:
             reason = ("nonfinite" if isinstance(exc, NonFiniteMetrics)

@@ -173,3 +173,42 @@ class TestRepoSources:
 
         root = pathlib.Path(repro.__file__).parent
         assert check_paths([root]) == []
+
+
+class TestWorkerTelemetryPattern:
+    """Regression guard for the worker-capture idiom in core/parallel.py.
+
+    Worker-side code records telemetry by first binding the per-worker
+    global to a local (``wt = _WORKER_TELEMETRY``) and mutating through
+    the alias; the analyzer must keep accepting that shape, and keep
+    flagging the naive global-method-call shape it replaces.
+    """
+
+    def test_local_alias_mutation_is_clean(self):
+        diags = check("""
+            from repro.core.parallel import worker_side
+
+            _WORKER_TELEMETRY = None
+
+            @worker_side
+            def _evaluate_one(u):
+                wt = _WORKER_TELEMETRY
+                with wt.span("worker-evaluate"):
+                    out = u * 2
+                wt.inc("worker_sims_total")
+                return out, wt.drain()
+        """)
+        assert "flow.conc.global-write" not in rules(diags)
+
+    def test_unsuppressed_global_write_still_fires(self):
+        diags = check("""
+            from repro.core.parallel import worker_side
+
+            _WORKER_TELEMETRY = None
+
+            @worker_side
+            def _init_worker(capture):
+                global _WORKER_TELEMETRY
+                _WORKER_TELEMETRY = object() if capture else None
+        """)
+        assert "flow.conc.global-write" in rules(diags)

@@ -2,6 +2,7 @@
 
 import json
 import logging
+import threading
 
 from repro.core.config import MAOptConfig
 from repro.core.ma_opt import MAOptimizer
@@ -51,6 +52,39 @@ class TestRunLogger:
             log.emit("round_end", round=3, best_fom=0.5)
         assert "round_end" in caplog.text
         assert "best_fom=0.5" in caplog.text
+
+    def test_concurrent_emit_keeps_lines_atomic(self, tmp_path):
+        # The optimizer thread and the pool heartbeat thread share one
+        # logger; every JSONL line must stay intact under that contention.
+        path = tmp_path / "events.jsonl"
+        log = RunLogger(path=str(path))
+        n_threads, n_events = 8, 50
+
+        def work(i):
+            for j in range(n_events):
+                log.emit("evaluation", thread=i, index=j)
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        log.close()
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) == len(log) == n_threads * n_events
+        for i in range(n_threads):
+            indices = [r["index"] for r in rows if r["thread"] == i]
+            assert indices == list(range(n_events))  # per-thread order kept
+
+    def test_export_jsonl_from_memory(self, tmp_path):
+        log = RunLogger()  # no streaming path
+        log.emit("run_start", method="X")
+        log.emit("run_end", best_fom=0.5)
+        path = tmp_path / "dump.jsonl"
+        assert log.export_jsonl(str(path)) == 2
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["event"] for r in rows] == ["run_start", "run_end"]
 
     def test_configure_logging_idempotent(self):
         logger = configure_logging("info")

@@ -75,6 +75,34 @@ class TestSpans:
         assert len(roots) == 4
         assert all(len(r.children) == 1 for r in roots)
 
+    def test_concurrent_threads_keep_tree_consistent(self):
+        # Heavier stress: many threads hammering one tracer must yield a
+        # tree whose row count and parent links add up exactly.
+        tracer = Tracer()
+        n_threads, n_spans = 8, 25
+
+        def work(i):
+            for j in range(n_spans):
+                with tracer.span("op", i=i, j=j):
+                    with tracer.span("sub"):
+                        pass
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer.roots()) == n_threads * n_spans
+        rows = tracer.to_rows()
+        assert len(rows) == n_threads * n_spans * 2
+        by_id = {r["id"]: r for r in rows}
+        for row in rows:
+            if row["name"] == "sub":
+                assert by_id[row["parent_id"]]["name"] == "op"
+            else:
+                assert row["parent_id"] is None
+
 
 class TestExport:
     def test_jsonl_roundtrip(self, tmp_path):

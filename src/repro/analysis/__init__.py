@@ -18,7 +18,12 @@ own coding invariants, behind one ``ma-opt lint`` command:
   of code submitted through :mod:`repro.core.parallel`;
 * :mod:`repro.analysis.shapes` — symbolic checks of the paper's
   dimensional contracts (critic ``2d -> m+1``, actor ``d -> d``,
-  ``N_es`` bound, near-sampling box).
+  ``N_es`` bound, near-sampling box);
+* :mod:`repro.analysis.locks` / :mod:`repro.analysis.dynrace` — the
+  race-detection layer for the threaded obs/parallel code: a static
+  lockset/guarded-by analyzer (``flow.lock.*``, ``ma-opt lint
+  --locks``) and a runtime race sanitizer (``race.*``, ``ma-opt
+  sanitize <cmd>``).
 
 Deployment infrastructure: an incremental content-hash result cache
 (:mod:`repro.analysis.cache`), a committed baseline ratchet that freezes
@@ -75,6 +80,13 @@ from repro.analysis.erc import (
     lint_deck,
     run_erc,
 )
+from repro.analysis.dynrace import (
+    RACE_RULES,
+    RaceSanitizer,
+    schedule_torture,
+)
+from repro.analysis.locks import LOCK_RULES
+from repro.analysis.locks import check_paths as check_locks
 from repro.analysis.rngflow import RNG_RULES
 from repro.analysis.rngflow import check_paths as check_rngflow
 from repro.analysis.sarif import render_sarif, to_sarif
@@ -91,7 +103,10 @@ __all__ = [
     "DEFAULT_CACHE_PATH",
     "Diagnostic",
     "ERC_RULES",
+    "LOCK_RULES",
+    "RACE_RULES",
     "RNG_RULES",
+    "RaceSanitizer",
     "Rule",
     "RuleSet",
     "SHAPE_RULES",
@@ -100,6 +115,7 @@ __all__ = [
     "assert_clean",
     "check_concurrency",
     "check_config",
+    "check_locks",
     "check_rngflow",
     "check_shapes",
     "exit_code",
@@ -117,6 +133,7 @@ __all__ = [
     "render_sarif",
     "render_text",
     "run_erc",
+    "schedule_torture",
     "sort_diagnostics",
     "to_sarif",
     "validate_config",
@@ -124,7 +141,7 @@ __all__ = [
 
 #: Catalogs of every analyzer, in documentation order.
 RULE_SETS = (ERC_RULES, CFG_RULES, CODE_RULES, RNG_RULES, CONC_RULES,
-             SHAPE_RULES)
+             LOCK_RULES, RACE_RULES, SHAPE_RULES)
 
 
 def all_rules():

@@ -19,6 +19,10 @@ machine-checked so they cannot silently regress:
 * ``code.mutable-default`` — no mutable default arguments.
 * ``code.bare-except`` — no bare ``except:`` handlers (they swallow
   ``KeyboardInterrupt``/``SystemExit``).
+* ``code.thread-lifecycle`` — no ``threading.Thread(...)`` that neither
+  passes an explicit ``daemon=`` nor has a ``join()`` anywhere in the
+  module: an un-owned non-daemon thread blocks interpreter exit, and an
+  unjoined one leaks past its owner's lifetime.
 
 Suppression: append ``# repro: ignore[rule-id, ...]`` (or a blanket
 ``# repro: ignore``) to the offending line.  Rule ids match by prefix,
@@ -48,6 +52,9 @@ CODE_RULES.add("code.mutable-default", Severity.ERROR,
                "mutable default argument (shared across calls)")
 CODE_RULES.add("code.bare-except", Severity.ERROR,
                "bare 'except:' swallows KeyboardInterrupt/SystemExit")
+CODE_RULES.add("code.thread-lifecycle", Severity.ERROR,
+               "threading.Thread(...) with neither an explicit daemon= "
+               "nor a join()/lifecycle owner in the module")
 
 # numpy.random attributes that are fine to reference: constructors of the
 # explicit-Generator API, not samplers of the implicit global state.
@@ -111,6 +118,12 @@ class _Checker(ast.NodeVisitor):
         self.path = path
         self.in_core = in_core
         self.findings: list[tuple[int, Diagnostic]] = []
+        # Thread-lifecycle bookkeeping: ctor sites, and the names that
+        # were joined or had .daemon set, resolved in finalize().
+        self._threads: list[tuple[ast.Call, str, bool]] = []
+        self._thread_targets: dict[int, str] = {}
+        self._joined: set[str] = set()
+        self._daemon_set: set[str] = set()
 
     def _emit(self, node: ast.AST, rule: str, message: str,
               fix: str = "") -> None:
@@ -169,7 +182,53 @@ class _Checker(ast.NodeVisitor):
                            f"call to {dotted}() reads the wall clock",
                            fix="use time.perf_counter() via the telemetry "
                                "t_wall convention")
+
+        # threading.Thread(...) lifecycle: remember the ctor (with its
+        # assignment target, mapped by visit_Assign) and every
+        # <name>.join() receiver; finalize() pairs them up.
+        if (parts and parts[-1] == "Thread"
+                and (len(parts) == 1 or parts[0] == "threading")):
+            has_daemon = any(kw.arg == "daemon" for kw in node.keywords)
+            self._threads.append(
+                (node, self._thread_targets.get(id(node), ""), has_daemon))
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"):
+            receiver = _dotted(node.func.value)
+            if receiver:
+                self._joined.add(receiver)
         self.generic_visit(node)
+
+    # -- assignments ---------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Map 'name = threading.Thread(...)' so the ctor knows who owns
+        # it, and honor 'name.daemon = ...' as an explicit daemon mark.
+        if isinstance(node.value, ast.Call):
+            for target in node.targets:
+                name = _dotted(target)
+                if name:
+                    self._thread_targets[id(node.value)] = name
+                    break
+        for target in node.targets:
+            if isinstance(target, ast.Attribute) and target.attr == "daemon":
+                receiver = _dotted(target.value)
+                if receiver:
+                    self._daemon_set.add(receiver)
+        self.generic_visit(node)
+
+    def finalize(self) -> None:
+        """Emit deferred findings (thread-lifecycle needs the whole
+        module before it can tell owned threads from leaked ones)."""
+        for node, target, has_daemon in self._threads:
+            if has_daemon or (target and target in self._daemon_set):
+                continue
+            if target and target in self._joined:
+                continue
+            who = f"thread {target!r}" if target else "anonymous thread"
+            self._emit(node, "code.thread-lifecycle",
+                       f"{who} is created with no explicit daemon= and "
+                       f"is never join()ed",
+                       fix="pass daemon=True (and stop it explicitly) or "
+                           "join() it on the owner's shutdown path")
 
     # -- defs ----------------------------------------------------------------
     def _check_defaults(self, node) -> None:
@@ -229,6 +288,7 @@ def lint_source(source: str, path: str = "<string>",
             location=f"{path}:{exc.lineno or 0}")]
     checker = _Checker(path, in_core)
     checker.visit(tree)
+    checker.finalize()
     suppressions = _suppressions(source)
     return [diag for lineno, diag in checker.findings
             if not _suppressed(diag, lineno, suppressions)]

@@ -1,0 +1,447 @@
+"""Runtime race sanitizer: the dynamic prong of the race-detection layer.
+
+The static pass (:mod:`repro.analysis.locks`) reasons about source; this
+module watches *live* objects.  A :class:`RaceSanitizer` wraps shared
+objects (tracer, metrics registry, run logger, store recorder) in
+access-recording proxies and swaps their ``_lock`` attributes for
+instrumented locks, then records an Eraser-style *(thread, lockset,
+access)* triple for every method call that crosses the proxy.  Two
+accesses conflict when they come from different threads, touch the same
+object, at least one is a write, and their locksets are disjoint — the
+classic lockset race condition, reported as ``race.unsync-access``
+diagnostics through the shared :class:`~repro.analysis.diagnostics`
+model (and SARIF, via the CLI).
+
+The *effective lockset* of an access is the set of instrumented locks
+held when the call entered **plus every lock acquired during the call**
+— so an internally-synchronized method like ``RunLogger.emit`` (which
+takes its own lock) carries a non-empty lockset and never false-
+positives against other locked accessors.  Accesses made before a
+second thread ever touches an object are construction-time and excluded
+(the unshared-object exclusion from the Eraser algorithm).
+
+``schedule_torture`` shrinks the interpreter's thread switch interval so
+tests interleave aggressively; ``ma-opt sanitize <cmd>`` runs any other
+CLI command with the run's telemetry channels watched (see
+:func:`instrument_telemetry` and ``docs/static_analysis.md``).
+
+This is a race *sanitizer*, not a proof: it only sees accesses that
+cross a proxy boundary, and only for schedules that actually happened.
+Pair it with the static pass.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import sys
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.analysis.diagnostics import Diagnostic, RuleSet, Severity
+from repro.analysis.flow import MUTATING_METHODS
+
+RACE_RULES = RuleSet()
+RACE_RULES.add(
+    "race.unsync-access", Severity.ERROR,
+    "two threads accessed a watched shared object with disjoint "
+    "locksets and at least one write — an unsynchronized-access pair "
+    "(Eraser lockset discipline violation)")
+
+#: method names treated as writes to the watched object's state.
+WRITE_METHODS = frozenset(MUTATING_METHODS) | frozenset({
+    "write", "writelines", "flush", "close", "set", "put", "record",
+    "reset", "mark_failed", "finalize", "absorb", "absorb_capture",
+})
+
+
+class _ThreadState:
+    """Per-thread lockset + append-only acquisition history."""
+
+    __slots__ = ("held", "history")
+
+    def __init__(self) -> None:
+        self.held: list[str] = []
+        self.history: list[str] = []
+
+
+class InstrumentedLock:
+    """A lock wrapper that reports acquisitions to its sanitizer.
+
+    Supports the subset of the ``threading.Lock`` API the codebase uses
+    (context manager, ``acquire``/``release``, ``locked``) and delegates
+    the actual blocking to the wrapped lock.
+    """
+
+    def __init__(self, lock: Any, name: str,
+                 sanitizer: "RaceSanitizer") -> None:
+        self._lock = lock
+        self._name = name
+        self._san = sanitizer
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def acquire(self, *args: Any, **kwargs: Any) -> bool:
+        acquired = self._lock.acquire(*args, **kwargs)
+        if acquired:
+            self._san._push(self._name)
+        return acquired
+
+    def release(self) -> None:
+        self._san._drop(self._name)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> "InstrumentedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.release()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<InstrumentedLock {self._name}>"
+
+
+class WatchProxy:
+    """Transparent attribute/method proxy that records accesses.
+
+    Method calls record one access with the caller's effective lockset
+    (held at entry ∪ acquired during the call); attribute reads/writes
+    record with the lockset held at the touch.
+    """
+
+    __slots__ = ("_dr_obj", "_dr_san", "_dr_label", "_dr_writes")
+
+    def __init__(self, obj: Any, sanitizer: "RaceSanitizer", label: str,
+                 writes: frozenset[str]) -> None:
+        object.__setattr__(self, "_dr_obj", obj)
+        object.__setattr__(self, "_dr_san", sanitizer)
+        object.__setattr__(self, "_dr_label", label)
+        object.__setattr__(self, "_dr_writes", writes)
+
+    def __getattr__(self, name: str) -> Any:
+        value = getattr(self._dr_obj, name)
+        if not callable(value) or isinstance(value, type):
+            self._dr_san.record(self._dr_label, name, "read",
+                                self._dr_san.lockset())
+            return value
+        san, label = self._dr_san, self._dr_label
+        kind = "write" if name in self._dr_writes else "read"
+
+        def traced(*args: Any, **kwargs: Any) -> Any:
+            state = san._state()
+            before = frozenset(state.held)
+            start = len(state.history)
+            try:
+                return value(*args, **kwargs)
+            finally:
+                window = before | frozenset(state.history[start:])
+                san.record(label, name, kind, window)
+
+        return traced
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        self._dr_san.record(self._dr_label, name, "write",
+                            self._dr_san.lockset())
+        setattr(self._dr_obj, name, value)
+
+    def _dr_windowed(self, attr: str, kind: str, fn: Any) -> Any:
+        """Run ``fn`` recording the call-window lockset (entry ∪
+        acquired during the call), like traced method calls do."""
+        state = self._dr_san._state()
+        before = frozenset(state.held)
+        start = len(state.history)
+        try:
+            return fn()
+        finally:
+            window = before | frozenset(state.history[start:])
+            self._dr_san.record(self._dr_label, attr, kind, window)
+
+    def __len__(self) -> int:
+        return self._dr_windowed("__len__", "read",
+                                 lambda: len(self._dr_obj))
+
+    def __iter__(self) -> Iterator[Any]:
+        return self._dr_windowed("__iter__", "read",
+                                 lambda: iter(self._dr_obj))
+
+    def __bool__(self) -> bool:
+        return bool(self._dr_obj)
+
+    def __repr__(self) -> str:
+        return f"<watched {self._dr_label}>"
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One conflicting unsynchronized access pair on a watched object."""
+
+    label: str
+    attr_a: str
+    kind_a: str
+    locks_a: frozenset[str]
+    thread_a: int
+    attr_b: str
+    kind_b: str
+    locks_b: frozenset[str]
+    thread_b: int
+
+    def describe(self) -> str:
+        def side(attr: str, kind: str, locks: frozenset[str],
+                 thread: int) -> str:
+            held = "{" + ", ".join(sorted(locks)) + "}" if locks else "{}"
+            return f"{kind} of .{attr} by thread {thread} holding {held}"
+        return (f"{self.label}: "
+                f"{side(self.attr_a, self.kind_a, self.locks_a, self.thread_a)}"
+                f" conflicts with "
+                f"{side(self.attr_b, self.kind_b, self.locks_b, self.thread_b)}"
+                f" (disjoint locksets, at least one write)")
+
+
+class RaceSanitizer:
+    """Records (thread, lockset, access) triples and reports conflicts.
+
+    Accesses are aggregated per ``(thread, lockset, attribute, kind)``
+    combination, so memory stays bounded by the number of *distinct*
+    access shapes, not the access count.
+    """
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()     # guards the aggregation tables
+        self._tls = threading.local()
+        self._seq = 0
+        # label -> {(thread, lockset, attr, kind): [count, first, last]}
+        self._combos: dict[str, dict[tuple, list[int]]] = {}
+        self._first_thread: dict[str, int] = {}
+        self._shared_at: dict[str, int] = {}
+        self._labels: dict[str, int] = {}
+
+    # -- per-thread lock state (called by InstrumentedLock) ------------------
+    def _state(self) -> _ThreadState:
+        state = getattr(self._tls, "state", None)
+        if state is None:
+            state = self._tls.state = _ThreadState()
+        return state
+
+    def _push(self, name: str) -> None:
+        state = self._state()
+        state.held.append(name)
+        state.history.append(name)
+
+    def _drop(self, name: str) -> None:
+        held = self._state().held
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == name:
+                del held[i]
+                return
+
+    def lockset(self) -> frozenset[str]:
+        """Instrumented locks the calling thread holds right now."""
+        return frozenset(self._state().held)
+
+    # -- registration --------------------------------------------------------
+    def instrument_lock(self, lock: Any, name: str) -> InstrumentedLock:
+        """Wrap a raw lock so acquisitions feed this sanitizer."""
+        if isinstance(lock, InstrumentedLock):
+            return lock
+        return InstrumentedLock(lock, name, self)
+
+    def watch(self, obj: Any, name: str | None = None,
+              lock_attrs: tuple[str, ...] = ("_lock",),
+              writes: frozenset[str] | set[str] | None = None) -> Any:
+        """Register a shared object; returns its recording proxy.
+
+        Every attribute in ``lock_attrs`` that holds a lock is replaced
+        *on the object* by an instrumented wrapper, so even un-proxied
+        internal code paths contribute to thread locksets.
+        """
+        if isinstance(obj, WatchProxy):
+            return obj
+        label = name or type(obj).__name__
+        with self._mu:
+            n = self._labels.get(label, 0)
+            self._labels[label] = n + 1
+        if n:
+            label = f"{label}#{n + 1}"
+        for attr in lock_attrs:
+            lock = getattr(obj, attr, None)
+            if (lock is not None and hasattr(lock, "acquire")
+                    and not isinstance(lock, InstrumentedLock)):
+                setattr(obj, attr,
+                        InstrumentedLock(lock, f"{label}.{attr}", self))
+        return WatchProxy(obj, self, label,
+                          frozenset(writes) if writes is not None
+                          else WRITE_METHODS)
+
+    # -- recording -----------------------------------------------------------
+    def record(self, label: str, attr: str, kind: str,
+               locks: frozenset[str]) -> None:
+        """Record one access (normally called by the proxy)."""
+        tid = threading.get_ident()
+        with self._mu:
+            self._seq += 1
+            seq = self._seq
+            first = self._first_thread.setdefault(label, tid)
+            if tid != first and label not in self._shared_at:
+                self._shared_at[label] = seq
+            key = (tid, locks, attr, kind)
+            combos = self._combos.setdefault(label, {})
+            entry = combos.get(key)
+            if entry is None:
+                combos[key] = [1, seq, seq]
+            else:
+                entry[0] += 1
+                entry[2] = seq
+
+    # -- reporting -----------------------------------------------------------
+    def races(self) -> list[RaceReport]:
+        """Conflicting unsynchronized access pairs seen so far."""
+        with self._mu:
+            combos = {label: dict(per) for label, per in
+                      self._combos.items()}
+            first_thread = dict(self._first_thread)
+            shared_at = dict(self._shared_at)
+        out: list[RaceReport] = []
+        seen: set[tuple[str, frozenset[str]]] = set()
+        for label in sorted(combos):
+            shared = shared_at.get(label)
+            if shared is None:
+                continue    # only ever touched by one thread
+            first = first_thread[label]
+            live = []
+            for (tid, locks, attr, kind), (_, _, last) in sorted(
+                    combos[label].items(), key=lambda kv: kv[1][1]):
+                if tid == first and last < shared:
+                    continue    # construction-time, pre-sharing
+                live.append((tid, locks, attr, kind))
+            for i, a in enumerate(live):
+                for b in live[i + 1:]:
+                    if a[0] == b[0]:
+                        continue
+                    if a[3] != "write" and b[3] != "write":
+                        continue
+                    if a[1] & b[1]:
+                        continue
+                    key = (label, frozenset((a[2], b[2])))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    out.append(RaceReport(
+                        label=label,
+                        attr_a=a[2], kind_a=a[3], locks_a=a[1],
+                        thread_a=a[0],
+                        attr_b=b[2], kind_b=b[3], locks_b=b[1],
+                        thread_b=b[0]))
+        return out
+
+    def diagnostics(self) -> list[Diagnostic]:
+        """The conflicts as ``race.unsync-access`` diagnostics."""
+        return [RACE_RULES.diag(
+            "race.unsync-access", race.describe(),
+            location=f"{race.label}.{race.attr_a}",
+            fix="guard both accesses with the same lock (the static "
+                "pass: 'ma-opt lint --locks' names the guard)")
+            for race in self.races()]
+
+    def summary(self) -> str:
+        with self._mu:
+            n_access = self._seq
+            n_objects = len(self._combos)
+        races = self.races()
+        tail = (f"{len(races)} race candidate(s)" if races
+                else "no races observed")
+        return (f"sanitizer: {n_access} access(es) across "
+                f"{n_objects} watched object(s); {tail}")
+
+    def reset(self) -> None:
+        """Forget all recorded accesses (watched objects stay watched)."""
+        with self._mu:
+            self._seq = 0
+            self._combos.clear()
+            self._first_thread.clear()
+            self._shared_at.clear()
+
+
+# -- schedule torture ---------------------------------------------------------
+
+@contextlib.contextmanager
+def schedule_torture(switch_interval: float = 1e-5):
+    """Shrink the interpreter's thread switch interval to force
+    aggressive interleaving (restores the old interval on exit)."""
+    old = sys.getswitchinterval()
+    sys.setswitchinterval(max(float(switch_interval), 1e-6))
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(old)
+
+
+# -- process-wide activation (the `ma-opt sanitize` hook) ---------------------
+
+_ACTIVE: RaceSanitizer | None = None
+
+
+def activate(sanitizer: RaceSanitizer) -> RaceSanitizer:
+    """Make ``sanitizer`` the process-wide active sanitizer."""
+    global _ACTIVE
+    _ACTIVE = sanitizer
+    return sanitizer
+
+
+def deactivate() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> RaceSanitizer | None:
+    """The process-wide sanitizer installed by ``ma-opt sanitize``."""
+    return _ACTIVE
+
+
+def instrument_telemetry(telemetry: Any,
+                         sanitizer: RaceSanitizer | None = None) -> Any:
+    """Swap a telemetry bundle's channels for watched proxies, in place.
+
+    In-place matters: the executor's heartbeat thread and the optimizer
+    share the *same* bundle object, so replacing its channel attributes
+    routes both threads through the sanitizer.  Observers (e.g. the run
+    store's recorder) are watched too.  A ``None`` bundle, or no active
+    sanitizer, is a no-op.
+    """
+    sanitizer = sanitizer if sanitizer is not None else _ACTIVE
+    if telemetry is None or sanitizer is None:
+        return telemetry
+    for channel in ("tracer", "metrics", "run_logger"):
+        obj = getattr(telemetry, channel, None)
+        if obj is not None:
+            setattr(telemetry, channel,
+                    sanitizer.watch(obj, name=channel))
+    observers = getattr(telemetry, "observers", None)
+    if observers is not None and len(observers):
+        from repro.obs.hooks import ObserverList
+
+        telemetry.observers = ObserverList([
+            sanitizer.watch(ob, name=type(ob).__name__)
+            for ob in observers])
+    return telemetry
+
+
+__all__ = [
+    "RACE_RULES",
+    "WRITE_METHODS",
+    "InstrumentedLock",
+    "RaceReport",
+    "RaceSanitizer",
+    "WatchProxy",
+    "activate",
+    "active",
+    "deactivate",
+    "instrument_telemetry",
+    "schedule_torture",
+]

@@ -1,0 +1,669 @@
+"""Lockset / guarded-by analyzer: thread-safety lint (``flow.lock.*``).
+
+PR 6 made the telemetry layer genuinely multithreaded (the pool
+heartbeat daemon shares ``RunLogger`` / ``MetricsRegistry`` / ``Tracer``
+with the optimizer thread), and the service/executor roadmap items will
+multiply the threads.  This pass is the static prong of the
+race-detection layer (the dynamic prong is
+:mod:`repro.analysis.dynrace`): it reasons about *lock discipline* in
+source, per class.
+
+For every class that owns a lock (an attribute assigned
+``threading.Lock()`` / ``RLock()`` / ``Condition()`` / ``Semaphore()``,
+or named by a ``# repro: guarded-by[<lock>]`` annotation), the analyzer
+
+* infers which attributes the lock guards — any attribute written at
+  least once inside a ``with self.<lock>:`` region outside ``__init__``,
+  plus every attribute explicitly annotated
+  ``# repro: guarded-by[<lock>]`` on its ``__init__`` assignment line —
+  and flags reads/writes of guarded attributes outside the lock
+  (``flow.lock.unguarded-read`` / ``flow.lock.unguarded-write``);
+* records every nested acquisition and flags lock-order cycles across
+  methods (``flow.lock.order`` — the classic AB/BA deadlock);
+* flags blocking calls made while holding any lock —
+  ``sleep``, thread/pool ``join``/waits, pool submissions, ``open()``
+  and file-handle I/O (``flow.lock.blocking``);
+* flags lock objects captured into ``@worker_side`` code or passed into
+  pool submissions (``flow.lock.worker-capture``) — a lock is
+  per-process state; pickling one into a spawn worker yields an
+  unrelated copy that synchronizes nothing.
+
+``__init__`` is construction time — the object is not shared yet — so
+its accesses neither infer guards nor produce findings.  The analyzer is
+with-statement based by design: explicit ``.acquire()``/``.release()``
+pairs are invisible to it (and to reviewers); convert them or annotate.
+
+Suppression uses the shared convention: ``# repro: ignore[flow.lock.*]``
+on the offending line.  See ``docs/static_analysis.md`` for the rule
+table and annotation syntax.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.codelint import _suppressed, _suppressions
+from repro.analysis.diagnostics import Diagnostic, RuleSet, Severity
+from repro.analysis.flow import (
+    MUTATING_METHODS,
+    CallGraph,
+    ModuleModel,
+    Scope,
+    build_module,
+    dotted_name,
+    iter_python_files,
+)
+
+LOCK_RULES = RuleSet()
+LOCK_RULES.add(
+    "flow.lock.unguarded-read", Severity.WARNING,
+    "an attribute the class mutates under its lock (or declares "
+    "guarded-by) is read without holding that lock — the reader can see "
+    "a torn/stale value")
+LOCK_RULES.add(
+    "flow.lock.unguarded-write", Severity.ERROR,
+    "an attribute the class mutates under its lock (or declares "
+    "guarded-by) is written without holding that lock — a data race "
+    "with every locked accessor")
+LOCK_RULES.add(
+    "flow.lock.order", Severity.ERROR,
+    "two locks are acquired in opposite orders on different code paths "
+    "— two threads interleaving those paths deadlock")
+LOCK_RULES.add(
+    "flow.lock.blocking", Severity.WARNING,
+    "a blocking call (sleep, thread/pool join or wait, file I/O) runs "
+    "while a lock is held — every other thread needing the lock stalls "
+    "for the full duration")
+LOCK_RULES.add(
+    "flow.lock.worker-capture", Severity.ERROR,
+    "a lock object reaches worker-side code or a pool submission — "
+    "locks are per-process; a pickled copy in a spawn worker "
+    "synchronizes nothing")
+
+#: threading constructors whose result is treated as a lock object.
+LOCK_TYPES = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+})
+
+#: receiver methods that mutate the receiver (superset of the flow core's
+#: set: file-handle and event-ish mutators matter here).
+_WRITE_METHODS = frozenset(MUTATING_METHODS) | frozenset({
+    "write", "writelines", "flush", "close", "set", "put", "truncate",
+})
+
+#: pool/future wait methods that block the calling thread.
+_POOL_WAITS = frozenset({
+    "map", "starmap", "imap", "imap_unordered", "apply",
+    "apply_async", "map_async", "starmap_async", "submit",
+    "result", "shutdown", "wait",
+})
+_THREADY_RE = re.compile(r"(thread|proc|pool|executor|future|worker)",
+                         re.IGNORECASE)
+_FILEY_RE = re.compile(r"(^|_)(fh|fp|file|stream)s?$", re.IGNORECASE)
+_FILE_IO = frozenset({"write", "writelines", "flush", "read",
+                      "readline", "readlines", "seek"})
+
+_GUARDED_BY_RE = re.compile(r"#\s*repro:\s*guarded-by\[([^\]]+)\]")
+
+
+def _is_lock_ctor(node: ast.expr | None) -> bool:
+    """True when ``node`` constructs a lock-like object."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    if not name:
+        return False
+    last = name.split(".")[-1]
+    return last in LOCK_TYPES or last.endswith("Lock")
+
+
+def _guarded_annotations(source: str) -> dict[int, str]:
+    """``{lineno: lock name}`` for every ``# repro: guarded-by[...]``."""
+    out: dict[int, str] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _GUARDED_BY_RE.search(line)
+        if m:
+            lock = m.group(1).strip()
+            if lock.startswith("self."):
+                lock = lock[5:]
+            out[lineno] = lock
+    return out
+
+
+# -- per-function facts -------------------------------------------------------
+
+@dataclass
+class Access:
+    """One ``self.<attr>`` touch inside a method."""
+
+    attr: str
+    kind: str                    # 'read' | 'write'
+    method: str
+    lineno: int
+    held: frozenset[str]         # lock ids held at the access
+
+
+@dataclass
+class Acquisition:
+    """One lock acquisition (a ``with <lock>:`` entry)."""
+
+    lock: str
+    held_before: tuple[str, ...]
+    method: str
+    lineno: int
+
+
+@dataclass
+class BlockingCall:
+    """A blocking call made while at least one lock was held."""
+
+    what: str
+    locks: tuple[str, ...]
+    method: str
+    lineno: int
+
+
+@dataclass
+class ClassModel:
+    """Lock facts for one class."""
+
+    name: str
+    lock_attrs: set[str] = field(default_factory=set)
+    declared: dict[str, tuple[str, int]] = field(default_factory=dict)
+    accesses: list[Access] = field(default_factory=list)
+
+    def lock_id(self, attr: str) -> str:
+        return f"{self.name}.{attr}"
+
+    def guards(self) -> dict[str, tuple[str, str]]:
+        """``{attr: (lock id, how it was established)}``.
+
+        Declared guards (``# repro: guarded-by[...]``) win; otherwise an
+        attribute is guarded by the lock it is most often written under
+        (outside ``__init__``), as soon as one such locked write exists.
+        """
+        out: dict[str, tuple[str, str]] = {}
+        for attr, (lock, _) in self.declared.items():
+            out[attr] = (self.lock_id(lock), "declared guarded-by")
+        votes: dict[str, dict[str, int]] = {}
+        for acc in self.accesses:
+            if (acc.kind != "write" or acc.method == "__init__"
+                    or not acc.held or acc.attr in out):
+                continue
+            per = votes.setdefault(acc.attr, {})
+            for lock in acc.held:
+                per[lock] = per.get(lock, 0) + 1
+        for attr, per in votes.items():
+            lock = max(sorted(per), key=lambda k: per[k])
+            out[attr] = (lock, "mutated under")
+        return out
+
+
+class _MethodWalker(ast.NodeVisitor):
+    """Walk one function body tracking the set of held locks.
+
+    Records self-attribute accesses (when a class context is given),
+    lock acquisitions and blocking-calls-under-lock.  Nested function
+    bodies are skipped: they do not run under the enclosing ``with``.
+    """
+
+    def __init__(self, method: str, cls: ClassModel | None,
+                 module_locks: dict[str, str],
+                 acquisitions: list[Acquisition],
+                 blocking: list[BlockingCall]) -> None:
+        self.method = method
+        self.cls = cls
+        self.module_locks = module_locks    # name -> lock id
+        self.local_locks: dict[str, str] = {}
+        self.acquisitions = acquisitions
+        self.blocking = blocking
+        self.held: list[str] = []
+
+    # -- lock identity -------------------------------------------------------
+    def _lock_of(self, expr: ast.expr) -> str | None:
+        name = dotted_name(expr)
+        if not name:
+            return None
+        if name.startswith("self.") and self.cls is not None:
+            attr = name[5:]
+            if attr in self.cls.lock_attrs:
+                return self.cls.lock_id(attr)
+            return None
+        return self.local_locks.get(name) or self.module_locks.get(name)
+
+    def _record(self, attr: str, kind: str, lineno: int) -> None:
+        if self.cls is None or attr in self.cls.lock_attrs:
+            return
+        self.cls.accesses.append(Access(
+            attr=attr, kind=kind, method=self.method, lineno=lineno,
+            held=frozenset(self.held)))
+
+    # -- structure -----------------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        del node  # nested def: body runs later, not under these locks
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        del node
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        pushed: list[str] = []
+        for item in node.items:
+            lock = self._lock_of(item.context_expr)
+            if lock is not None:
+                self.acquisitions.append(Acquisition(
+                    lock=lock, held_before=tuple(self.held),
+                    method=self.method, lineno=item.context_expr.lineno))
+                self.held.append(lock)
+                pushed.append(lock)
+            else:
+                self.visit(item.context_expr)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in pushed:
+            self.held.pop()
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    # -- assignments ---------------------------------------------------------
+    def _self_root(self, target: ast.expr) -> ast.Attribute | None:
+        """The ``self.<attr>`` node a write target is rooted at, if any."""
+        node = target
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            if (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"):
+                return node
+            node = node.value
+        return None
+
+    def _visit_target(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._visit_target(elt)
+            return
+        root = self._self_root(target)
+        if root is not None:
+            self._record(root.attr, "write", target.lineno)
+            # still read the subscript index, if any
+            node = target
+            while isinstance(node, (ast.Subscript, ast.Attribute)):
+                if isinstance(node, ast.Subscript):
+                    self.visit(node.slice)
+                node = node.value
+        else:
+            self.visit(target)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if (isinstance(node.value, ast.Call) and _is_lock_ctor(node.value)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)):
+            # local lock binding: with-statements on it are tracked
+            name = node.targets[0].id
+            self.local_locks[name] = f"{self.method}.{name}"
+        for target in node.targets:
+            self._visit_target(target)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._visit_target(node.target)
+        if node.value is not None:
+            self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._visit_target(node.target)
+        root = self._self_root(node.target)
+        if root is not None:
+            # += both reads and writes the attribute
+            self._record(root.attr, "read", node.lineno)
+        self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._visit_target(target)
+
+    # -- reads and calls -----------------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            self._record(node.attr, "read", node.lineno)
+            return
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_blocking(node)
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Attribute)
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id == "self"):
+            # self.<attr>.<method>(...) — a mutator method writes <attr>
+            kind = "write" if func.attr in _WRITE_METHODS else "read"
+            self._record(func.value.attr, kind, node.lineno)
+            for arg in node.args:
+                self.visit(arg)
+            for kw in node.keywords:
+                self.visit(kw.value)
+            return
+        self.generic_visit(node)
+
+    def _check_blocking(self, node: ast.Call) -> None:
+        if not self.held:
+            return
+        name = dotted_name(node.func)
+        if not name:
+            return
+        parts = name.split(".")
+        last = parts[-1]
+        receiver = parts[-2] if len(parts) > 1 else ""
+        what: str | None = None
+        if last == "sleep":
+            what = f"{name}()"
+        elif last == "open" and len(parts) == 1:
+            what = "open()"
+        elif last == "join" and _THREADY_RE.search(receiver):
+            what = f"{name}() (thread/process join)"
+        elif last in _POOL_WAITS and _THREADY_RE.search(receiver):
+            what = f"{name}() (pool wait)"
+        elif last in _FILE_IO and _FILEY_RE.search(receiver):
+            what = f"{name}() (file I/O)"
+        if what is not None:
+            self.blocking.append(BlockingCall(
+                what=what, locks=tuple(self.held), method=self.method,
+                lineno=node.lineno))
+
+
+# -- per-module analysis ------------------------------------------------------
+
+@dataclass
+class _ModuleFacts:
+    classes: list[ClassModel] = field(default_factory=list)
+    acquisitions: list[Acquisition] = field(default_factory=list)
+    blocking: list[BlockingCall] = field(default_factory=list)
+
+
+def _iter_defs(tree: ast.Module):
+    """Yield ``(funcdef, enclosing ClassDef | None)`` for every top-level
+    function and every method of every (possibly nested) class."""
+    def walk(node: ast.AST, cls: ast.ClassDef | None):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from walk(child, child)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, cls
+    yield from walk(tree, None)
+
+
+def _class_model(cls: ast.ClassDef,
+                 annotations: dict[int, str]) -> ClassModel:
+    """Discover a class's lock attributes and guarded-by declarations."""
+    model = ClassModel(name=cls.name)
+    for stmt in cls.body:      # class-level:  X = threading.Lock()
+        if isinstance(stmt, ast.Assign) and _is_lock_ctor(stmt.value):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    model.lock_attrs.add(target.id)
+    for node in ast.walk(cls):  # instance-level:  self.X = Lock()
+        if isinstance(node, ast.Assign) and _is_lock_ctor(node.value):
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    model.lock_attrs.add(target.attr)
+        target_attr: str | None = None
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    target_attr = target.attr
+                elif isinstance(target, ast.Name):
+                    target_attr = target.id
+            lock = annotations.get(node.lineno)
+            if lock is not None and target_attr is not None:
+                model.declared[target_attr] = (lock, node.lineno)
+                model.lock_attrs.add(lock)
+    return model
+
+
+def _analyze_module(mod: ModuleModel) -> _ModuleFacts:
+    facts = _ModuleFacts()
+    annotations = _guarded_annotations(mod.source)
+    modstem = pathlib.PurePath(mod.path).stem
+    module_locks = {}
+    for name, bindings in mod.module_scope.bindings.items():
+        if any(_is_lock_ctor(b.value) for b in bindings):
+            module_locks[name] = f"{modstem}.{name}"
+
+    models: dict[int, ClassModel] = {}
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.ClassDef):
+            models[id(node)] = _class_model(node, annotations)
+
+    for func, cls in _iter_defs(mod.tree):
+        model = models.get(id(cls)) if cls is not None else None
+        if model is not None and not model.lock_attrs:
+            model = None  # lock-free class: nothing to guard
+        walker = _MethodWalker(
+            method=(f"{cls.name}.{func.name}" if cls is not None
+                    else func.name),
+            cls=model, module_locks=module_locks,
+            acquisitions=facts.acquisitions, blocking=facts.blocking)
+        for stmt in func.body:
+            walker.visit(stmt)
+
+    facts.classes.extend(
+        m for m in models.values() if m.lock_attrs)
+    return facts
+
+
+# -- the rules ---------------------------------------------------------------
+
+def _guard_findings(mod: ModuleModel, model: ClassModel,
+                    emit) -> None:
+    guards = model.guards()
+    if not guards:
+        return
+    declared_lines = {ln for _, ln in model.declared.values()}
+    for acc in model.accesses:
+        method_leaf = acc.method.rsplit(".", 1)[-1]
+        if method_leaf == "__init__" or acc.lineno in declared_lines:
+            continue
+        guard = guards.get(acc.attr)
+        if guard is None:
+            continue
+        lock, how = guard
+        if lock in acc.held:
+            continue
+        verb = "writes" if acc.kind == "write" else "reads"
+        rule = ("flow.lock.unguarded-write" if acc.kind == "write"
+                else "flow.lock.unguarded-read")
+        emit(mod, acc.lineno, rule,
+             f"{model.name}.{acc.attr} is {how} {lock}, but "
+             f"{acc.method} {verb} it without holding the lock",
+             fix=f"wrap the access in 'with self."
+                 f"{lock.rsplit('.', 1)[-1]}:' (or annotate the true "
+                 f"guard with '# repro: guarded-by[...]')")
+
+
+def _order_findings(mod: ModuleModel, acquisitions: list[Acquisition],
+                    emit) -> None:
+    edges: dict[tuple[str, str], Acquisition] = {}
+    adj: dict[str, set[str]] = {}
+    for acq in acquisitions:
+        for held in acq.held_before:
+            if held == acq.lock:
+                continue
+            edges.setdefault((held, acq.lock), acq)
+            adj.setdefault(held, set()).add(acq.lock)
+
+    def reaches(src: str, dst: str) -> bool:
+        seen = {src}
+        frontier = [src]
+        while frontier:
+            node = frontier.pop()
+            for nxt in adj.get(node, ()):
+                if nxt == dst:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    reported: set[frozenset[str]] = set()
+    for (a, b), acq in sorted(edges.items()):
+        if not reaches(b, a):
+            continue
+        key = frozenset((a, b))
+        if key in reported:
+            continue
+        reported.add(key)
+        back = edges.get((b, a))
+        where = (f"; the opposite order is taken in {back.method} "
+                 f"(line {back.lineno})" if back is not None
+                 else " via intermediate locks")
+        emit(mod, acq.lineno, "flow.lock.order",
+             f"{acq.method} acquires {b} while holding {a}, but another "
+             f"path acquires them in the opposite order{where} — two "
+             f"threads interleaving these paths deadlock",
+             fix="pick one global acquisition order and re-order the "
+                 "nested with-blocks to follow it")
+
+
+def _blocking_findings(mod: ModuleModel, blocking: list[BlockingCall],
+                       emit) -> None:
+    for call in blocking:
+        held = ", ".join(call.locks)
+        emit(mod, call.lineno, "flow.lock.blocking",
+             f"{call.method} calls {call.what} while holding {held} — "
+             f"every thread contending for the lock stalls for the "
+             f"call's full duration",
+             fix="move the blocking call outside the locked region "
+                 "(snapshot state under the lock, then operate on the "
+                 "snapshot)")
+
+
+def _worker_capture_findings(modules: list[ModuleModel],
+                             graph: CallGraph, emit) -> None:
+    from repro.analysis.concurrency import find_submissions, worker_roots
+
+    def lock_binding(scope: Scope, name: str) -> bool:
+        owner = scope.resolve(name)
+        if owner is None:
+            return False
+        value = owner.last_value(name)
+        return value is not None and _is_lock_ctor(value)
+
+    roots = worker_roots(graph)
+    root_scopes = [s for s, _ in roots]
+    why = {id(s): w for s, w in roots}
+    seen: set[tuple[int, str]] = set()
+    for scope in graph.reachable_from(root_scopes):
+        mod = graph.module_of(scope)
+        reason = why.get(id(scope), "called from worker-side code")
+        for name in sorted(scope.reads):
+            if scope.binds(name) or not lock_binding(scope, name):
+                continue
+            if (id(scope), name) in seen:
+                continue
+            seen.add((id(scope), name))
+            emit(mod, scope.lineno, "flow.lock.worker-capture",
+                 f"worker-side function {scope.name!r} ({reason}) uses "
+                 f"lock {name!r} from an enclosing scope; in a spawn "
+                 f"worker it is an unrelated pickled copy that "
+                 f"synchronizes nothing",
+                 fix="synchronize in the parent (return results instead) "
+                     "or use a multiprocessing primitive created by the "
+                     "pool's initializer")
+    for mod in modules:
+        for scope in mod.scopes:
+            for sub in find_submissions(scope):
+                for node in ast.walk(sub.call):
+                    if (isinstance(node, ast.Name)
+                            and isinstance(node.ctx, ast.Load)
+                            and lock_binding(scope, node.id)):
+                        emit(mod, sub.lineno, "flow.lock.worker-capture",
+                             f"lock {node.id!r} is passed into "
+                             f"{sub.api}() — locks are per-process and "
+                             f"do not survive pickling into workers",
+                             fix="keep locks out of submission "
+                                 "arguments; synchronize on the parent "
+                                 "side")
+
+
+# -- entry points -------------------------------------------------------------
+
+def check_modules(modules: list[ModuleModel]) -> list[Diagnostic]:
+    """Run every ``flow.lock.*`` rule over a set of parsed modules."""
+    findings: list[tuple[ModuleModel, int, Diagnostic]] = []
+
+    def emit(mod: ModuleModel, lineno: int, rule: str, message: str,
+             fix: str = "") -> None:
+        findings.append((mod, lineno, LOCK_RULES.diag(
+            rule, message, location=f"{mod.path}:{lineno}", fix=fix)))
+
+    for mod in modules:
+        facts = _analyze_module(mod)
+        for model in facts.classes:
+            _guard_findings(mod, model, emit)
+        _order_findings(mod, facts.acquisitions, emit)
+        _blocking_findings(mod, facts.blocking, emit)
+    graph = CallGraph(modules)
+    _worker_capture_findings(modules, graph, emit)
+
+    out: list[Diagnostic] = []
+    for mod, lineno, diag in findings:
+        if not _suppressed(diag, lineno, _suppressions(mod.source)):
+            out.append(diag)
+    return out
+
+
+def check_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+    """Run the lockset pass over one module's source text."""
+    try:
+        modules = [build_module(source, path=path)]
+    except SyntaxError as exc:
+        return [Diagnostic(rule="code.syntax", severity=Severity.ERROR,
+                           message=f"syntax error: {exc.msg}",
+                           location=f"{path}:{exc.lineno or 0}")]
+    return check_modules(modules)
+
+
+def check_paths(paths) -> list[Diagnostic]:
+    """Run the lockset pass over files/directories as one unit (the
+    worker-capture rule needs the cross-file call graph)."""
+    modules: list[ModuleModel] = []
+    diags: list[Diagnostic] = []
+    for f in iter_python_files(paths):
+        try:
+            modules.append(build_module(
+                f.read_text(encoding="utf-8"), path=str(f)))
+        except SyntaxError as exc:
+            diags.append(Diagnostic(
+                rule="code.syntax", severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+                location=f"{f}:{exc.lineno or 0}"))
+    diags.extend(check_modules(modules))
+    return diags
+
+
+__all__ = [
+    "LOCK_RULES",
+    "LOCK_TYPES",
+    "Access",
+    "Acquisition",
+    "BlockingCall",
+    "ClassModel",
+    "check_modules",
+    "check_paths",
+    "check_source",
+]

@@ -11,7 +11,11 @@ Commands
 ``netlist <task>``    print the netlist of a design (mid-space by default).
 ``lint <targets>``    static analysis: ERC over task netlists or deck
                       files, ``--config`` cross-validation, ``--code``
-                      AST lint.  Exit 1 on error-severity findings.
+                      AST lint, ``--locks`` lockset/guarded-by checks.
+                      Exit 1 on error-severity findings.
+``sanitize <cmd>``    run any other command under the runtime race
+                      sanitizer (telemetry channels watched, schedule
+                      torture on).  Exit 1 when races are observed.
 ``bench <cmd>``       performance benchmarking: ``run`` the micro/macro
                       suites, ``compare`` two result files (exit 1 on
                       regression), ``list`` the registry.
@@ -89,11 +93,15 @@ def _build_telemetry(args: argparse.Namespace):
     run_logger = None
     if args.events_out or logger is not None:
         run_logger = RunLogger(path=args.events_out, logger=logger)
-    return Telemetry(
+    telemetry = Telemetry(
         tracer=Tracer() if args.trace_out else None,
         metrics=MetricsRegistry() if args.metrics_out else None,
         run_logger=run_logger,
     )
+    from repro.analysis import dynrace
+
+    # No-op unless 'ma-opt sanitize' activated a sanitizer upstream.
+    return dynrace.instrument_telemetry(telemetry)
 
 
 def _finish_telemetry(args: argparse.Namespace, telemetry) -> None:
@@ -184,7 +192,9 @@ def cmd_optimize(args: argparse.Namespace) -> int:
             method=args.method, task=task.name, base=telemetry,
             meta={"seed": args.seed, "n_sims": args.sims,
                   "n_init": args.init})
-        telemetry = recorder.telemetry
+        from repro.analysis import dynrace
+
+        telemetry = dynrace.instrument_telemetry(recorder.telemetry)
         print(f"run {recorder.run_id} recording to "
               f"{args.store}/{recorder.run_id} "
               f"(follow with: ma-opt tail {recorder.run_id})")
@@ -456,6 +466,13 @@ def _lint_code_path(path: str, args: argparse.Namespace,
         from repro.analysis.concurrency import check_paths as conc_check
 
         diags.extend(conc_check([path]))
+    if args.locks:
+        # Same story as concurrency: the lockset pass resolves guards
+        # and worker closures across the whole target, so it bypasses
+        # the per-file cache too.
+        from repro.analysis.locks import check_paths as locks_check
+
+        diags.extend(locks_check([path]))
     return diags
 
 
@@ -469,6 +486,15 @@ def _lint_groups(args: argparse.Namespace) -> list[tuple[str, list]]:
     groups: list[tuple[str, list]] = []
     for target in args.targets:
         if os.path.exists(target):
+            # With --locks, Python trees/files given positionally are
+            # lockset targets ('ma-opt lint --locks src/repro'); deck
+            # files keep their ERC meaning.
+            if args.locks and (os.path.isdir(target)
+                               or target.endswith(".py")):
+                from repro.analysis.locks import check_paths as locks_check
+
+                groups.append((target, locks_check([target])))
+                continue
             with open(target, encoding="utf-8") as fh:
                 groups.append((target, lint_deck(fh.read())))
             continue
@@ -534,7 +560,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if not args.targets and not args.config and not args.code \
             and not args.shapes:
         print("repro: error: nothing to lint — give task names / deck "
-              "files, --config, --code PATH, or --shapes",
+              "files (or Python paths with --locks), --config, "
+              "--code PATH, or --shapes",
               file=sys.stderr)
         return 2
     bad = _unknown_prefixes([*args.select, *args.ignore])
@@ -593,6 +620,50 @@ def cmd_lint(args: argparse.Namespace) -> int:
         if stats is not None:
             print(f"cache: {stats[0]} hit(s), {stats[1]} miss(es)")
     return exit_code(everything)
+
+
+def cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.analysis import dynrace
+    from repro.analysis.diagnostics import render_text
+
+    cmd = list(args.cmd)
+    if cmd and cmd[0] == "--":
+        cmd = cmd[1:]
+    if not cmd:
+        print("repro: error: sanitize needs a command to run, e.g. "
+              "'ma-opt sanitize optimize sphere --events-out ev.jsonl'",
+              file=sys.stderr)
+        return 2
+    if cmd[0] == "sanitize":
+        print("repro: error: 'sanitize' cannot wrap itself",
+              file=sys.stderr)
+        return 2
+    sanitizer = dynrace.activate(dynrace.RaceSanitizer())
+    try:
+        with dynrace.schedule_torture(args.switch_interval):
+            try:
+                inner_rc = main(cmd)
+            except SystemExit as exc:
+                # The inner command's argparse/SystemExit paths should
+                # not skip the race report.
+                code = exc.code
+                inner_rc = (code if isinstance(code, int)
+                            else 0 if code is None else 1)
+    finally:
+        dynrace.deactivate()
+    diags = sanitizer.diagnostics()
+    if args.sarif_out:
+        from repro.analysis.sarif import render_sarif
+
+        with open(args.sarif_out, "w", encoding="utf-8") as fh:
+            fh.write(render_sarif(diags,
+                                  rule_sets=(dynrace.RACE_RULES,)))
+    print()
+    print(sanitizer.summary())
+    if diags:
+        print(render_text(diags))
+        return 1
+    return inner_rc
 
 
 def _parse_threshold(value: str) -> float:
@@ -796,6 +867,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flow", action="store_true",
                    help="with --code: also run the flow-sensitive RNG "
                         "provenance and concurrency passes (flow.*)")
+    p.add_argument("--locks", action="store_true",
+                   help="run the lockset/guarded-by pass (flow.lock.*) "
+                        "over --code paths and over Python files or "
+                        "directories given as positional targets")
     p.add_argument("--shapes", action="store_true",
                    help="check the paper's dimensional contracts "
                         "(critic 2d->m+1, actor d->d, N_es bound; "
@@ -826,6 +901,20 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="PREFIX",
                    help="drop rules matching this id prefix (repeatable)")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "sanitize", help="run another command under the runtime race "
+                         "sanitizer")
+    p.add_argument("--switch-interval", type=float, default=1e-5,
+                   metavar="S",
+                   help="thread switch interval while the command runs "
+                        "(small = aggressive interleaving; default 1e-5)")
+    p.add_argument("--sarif-out", metavar="PATH", default=None,
+                   help="write observed races as a SARIF 2.1.0 document")
+    p.add_argument("cmd", nargs=argparse.REMAINDER,
+                   help="the command to run, e.g. 'optimize sphere "
+                        "--events-out ev.jsonl'")
+    p.set_defaults(func=cmd_sanitize)
 
     p = sub.add_parser(
         "bench", help="performance benchmarks: run/compare/list")

@@ -65,10 +65,14 @@ class Linear(Module):
         rng: np.random.Generator | None = None,
         weight_init: str = "glorot_uniform",
         name: str = "linear",
+        seed: int | None = None,
     ) -> None:
         if in_features <= 0 or out_features <= 0:
             raise ValueError("layer sizes must be positive")
-        rng = rng if rng is not None else np.random.default_rng()
+        # Initialization draws come from the caller's generator, or one
+        # derived from ``seed`` — never from an unseeded stream, so
+        # weights are reproducible in every construction path.
+        rng = rng if rng is not None else np.random.default_rng(seed)
         init = get_initializer(weight_init)
         self.weight = Parameter(init(in_features, out_features, rng), f"{name}.W")
         self.bias = Parameter(np.zeros(out_features), f"{name}.b")

@@ -92,12 +92,12 @@ class RunLogger:
                  logger: logging.Logger | str | None = None,
                  level: int = logging.INFO) -> None:
         self._t0 = time.perf_counter()
-        self._events: list[RunEvent] = []
         # emit() is called from the optimizer thread *and* the pool
         # heartbeat thread; the lock keeps the in-memory list and the
         # JSONL file line-atomic under that concurrency.
         self._lock = threading.Lock()
-        self._fh: TextIO | None = (
+        self._events: list[RunEvent] = []  # repro: guarded-by[_lock]
+        self._fh: TextIO | None = (        # repro: guarded-by[_lock]
             open(path, "w", encoding="utf-8") if path else None)
         if isinstance(logger, str):
             logger = logging.getLogger(logger)
@@ -111,9 +111,13 @@ class RunLogger:
         with self._lock:
             self._events.append(event)
             if self._fh is not None:
-                self._fh.write(json.dumps(event.to_dict(),
-                                          default=_json_default) + "\n")
-                self._fh.flush()
+                # Writing under the lock is the point: it is what makes
+                # each JSONL line atomic with its in-memory append, so a
+                # tail reader never sees interleaved half-lines.
+                self._fh.write(  # repro: ignore[flow.lock.blocking]
+                    json.dumps(event.to_dict(),
+                               default=_json_default) + "\n")
+                self._fh.flush()  # repro: ignore[flow.lock.blocking]
         if self._logger is not None:
             self._logger.log(
                 self._level, "%s %s", kind,

@@ -138,9 +138,9 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._counters: dict[str, float] = {}
-        self._gauges: dict[str, float] = {}
-        self._hists: dict[str, _Histogram] = {}
+        self._counters: dict[str, float] = {}    # repro: guarded-by[_lock]
+        self._gauges: dict[str, float] = {}      # repro: guarded-by[_lock]
+        self._hists: dict[str, _Histogram] = {}  # repro: guarded-by[_lock]
 
     # -- recording -----------------------------------------------------------
     def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
@@ -165,14 +165,17 @@ class MetricsRegistry:
 
     # -- reading -------------------------------------------------------------
     def counter_value(self, name: str, **labels: Any) -> float:
-        return self._counters.get(_key(name, labels), 0.0)
+        with self._lock:
+            return self._counters.get(_key(name, labels), 0.0)
 
     def gauge_value(self, name: str, **labels: Any) -> float | None:
-        return self._gauges.get(_key(name, labels))
+        with self._lock:
+            return self._gauges.get(_key(name, labels))
 
     def histogram_stats(self, name: str, **labels: Any) -> dict[str, float]:
-        hist = self._hists.get(_key(name, labels))
-        return hist.stats() if hist is not None else {"count": 0}
+        with self._lock:
+            hist = self._hists.get(_key(name, labels))
+            return hist.stats() if hist is not None else {"count": 0}
 
     def snapshot(self) -> dict[str, dict]:
         """Point-in-time copy: ``{"counters": {...}, "gauges": {...},
@@ -236,5 +239,6 @@ class MetricsRegistry:
         if hasattr(path_or_file, "write"):
             fn(path_or_file)
         else:
-            with open(path_or_file, "w", encoding="utf-8", newline="") as fh:
+            with open(str(path_or_file), "w", encoding="utf-8",
+                      newline="") as fh:
                 fn(fh)

@@ -59,7 +59,7 @@ def breakdown(rows: Sequence[dict]) -> list[dict]:
         agg["calls"] += 1
         agg["total_s"] += row["duration_s"]
 
-    out = [{
+    out: list[dict] = [{
         "phase": name,
         "calls": agg["calls"],
         "total_s": agg["total_s"],

@@ -186,6 +186,13 @@ class RunRecorder(BaseObserver):
         observers: list[Any] = [self]
         if base is not None:
             observers.extend(base.observers)
+        # The recorder keeps non-optional handles to its own channels:
+        # the bundle's attributes are typed optional (and may be swapped
+        # for sanitizer proxies), but the record on disk is always
+        # written from the real objects built here.
+        self._tracer = tracer
+        self._metrics = metrics
+        self._run_logger = run_logger
         self.telemetry = Telemetry(tracer=tracer, metrics=metrics,
                                    run_logger=run_logger,
                                    observers=observers, run_id=run_id)
@@ -204,7 +211,7 @@ class RunRecorder(BaseObserver):
     # -- in-flight recording -------------------------------------------------
     def snapshot_metrics(self) -> None:
         """Append the current registry snapshot to the metrics stream."""
-        snap = self.telemetry.metrics.snapshot()
+        snap = self._metrics.snapshot()
         snap["t"] = round(time.perf_counter() - self._t0, 6)
         with open(self.path / METRICS_STREAM, "a", encoding="utf-8") as fh:
             fh.write(json.dumps(snap, default=_json_default) + "\n")
@@ -225,12 +232,12 @@ class RunRecorder(BaseObserver):
         if self._finalized:
             return
         self._finalized = True
-        n_spans = self.telemetry.tracer.export_jsonl(str(self.path / TRACE))
-        self.telemetry.metrics.export_json(str(self.path / METRICS_FINAL))
-        self.telemetry.run_logger.close()
+        n_spans = self._tracer.export_jsonl(str(self.path / TRACE))
+        self._metrics.export_json(str(self.path / METRICS_FINAL))
+        self._run_logger.close()
         self._manifest["status"] = status
         self._manifest["n_spans"] = n_spans
-        self._manifest["n_events"] = len(self.telemetry.run_logger)
+        self._manifest["n_events"] = len(self._run_logger)
         if result is not None:
             self._manifest["n_sims"] = len(getattr(result, "records", ()))
             self._manifest["best_fom"] = float(result.best_fom)

@@ -27,7 +27,7 @@ import json
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, TextIO
+from typing import Any, Iterator, TextIO, cast
 
 
 @dataclass
@@ -40,7 +40,7 @@ class Span:
     duration_s: float = 0.0
     children: list["Span"] = field(default_factory=list)
 
-    def iter_tree(self, depth: int = 0):
+    def iter_tree(self, depth: int = 0) -> "Iterator[tuple[Span, int]]":
         """Yield ``(span, depth)`` pairs, depth-first, self included."""
         yield self, depth
         for child in self.children:
@@ -125,7 +125,7 @@ class Tracer:
         self._epoch = time.perf_counter()
         self._local = threading.local()
         self._lock = threading.Lock()
-        self._roots: list[Span] = []
+        self._roots: list[Span] = []  # repro: guarded-by[_lock]
 
     # -- span lifecycle ------------------------------------------------------
     def span(self, name: str, **attrs: Any) -> _SpanContext:
@@ -201,9 +201,10 @@ class Tracer:
         """Write one JSON object per span; returns the span count."""
         rows = self.to_rows()
         if hasattr(path_or_file, "write"):
-            fh, own = path_or_file, False
+            fh, own = cast(TextIO, path_or_file), False
         else:
-            fh, own = open(path_or_file, "w", encoding="utf-8"), True
+            fh, own = open(cast(str, path_or_file), "w",
+                           encoding="utf-8"), True
         try:
             for row in rows:
                 fh.write(json.dumps(row, default=_json_default) + "\n")
@@ -213,7 +214,7 @@ class Tracer:
         return len(rows)
 
 
-def _json_default(obj: Any):
+def _json_default(obj: Any) -> Any:
     """Coerce numpy scalars/arrays (and other oddballs) for json.dumps."""
     if hasattr(obj, "item"):      # numpy scalar
         return obj.item()

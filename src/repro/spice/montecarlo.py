@@ -63,12 +63,16 @@ def monte_carlo(circuit_factory: Callable[[], Circuit],
                 measure: Callable[[Circuit], float],
                 n_samples: int,
                 rng: np.random.Generator | None = None,
-                a_vt: float = A_VT, a_kp: float = A_KP) -> np.ndarray:
+                a_vt: float = A_VT, a_kp: float = A_KP,
+                seed: int | None = None) -> np.ndarray:
     """Run ``measure`` over ``n_samples`` mismatch realizations.
 
     ``circuit_factory`` builds a fresh nominal circuit; ``measure`` runs the
     analyses it needs and returns a scalar.  Failed samples (simulator
-    exceptions) are returned as NaN so yield can be computed.
+    exceptions) are returned as NaN so yield can be computed.  Mismatch
+    draws come from ``rng``, or from a generator derived from ``seed``
+    when no generator is passed — there is no unseeded fallback, so a
+    yield estimate is always reproducible.
 
     Example: input-offset spread of a differential pair
     ---------------------------------------------------
@@ -95,7 +99,7 @@ def monte_carlo(circuit_factory: Callable[[], Circuit],
     """
     if n_samples < 1:
         raise ValueError("n_samples must be >= 1")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(seed)
     out = np.empty(n_samples)
     for k in range(n_samples):
         ckt = circuit_factory()

@@ -1,0 +1,31 @@
+"""Deliberately racy shared counter — the seeded cross-prong fixture.
+
+``add`` takes the lock; ``add_fast`` skips it.  The static lockset pass
+(:mod:`repro.analysis.locks`) must flag the unguarded write in source,
+and the runtime sanitizer (:mod:`repro.analysis.dynrace`) must observe
+the same race when two threads actually interleave the two paths.  Keep
+the bug: the tests assert it is caught, not that it is fixed.
+"""
+
+import threading
+
+
+class RacyCounter:
+    """Counts contributions from many threads — with one broken path."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, n):
+        with self._lock:
+            self.total = self.total + n
+
+    def add_fast(self, n):
+        # BUG (deliberate): read-modify-write without the lock the
+        # other writers hold.
+        self.total = self.total + n
+
+    def value(self):
+        with self._lock:
+            return self.total

@@ -151,13 +151,16 @@ class TestFlowAndShapes:
 
     def test_repo_gate_invocation_with_baseline(self, monkeypatch, capsys):
         # The exact CI gate: everything on, screened by the committed
-        # baseline, must exit 0.
+        # baseline, must exit 0.  The ratchet has closed — the baseline
+        # is empty, so nothing may be suppressed either.
         repo_root = pathlib.Path(__file__).resolve().parents[2]
         monkeypatch.chdir(repo_root)
         assert main(["lint", "--code", "src/repro", "--flow", "--shapes",
-                     "--no-cache", "--baseline", "lint-baseline.json"]) == 0
+                     "--locks", "--no-cache",
+                     "--baseline", "lint-baseline.json"]) == 0
         out = capsys.readouterr().out
-        assert "baseline-suppressed" in out
+        assert "clean: no findings" in out
+        assert "baseline-suppressed" not in out
 
 
 class TestCacheFlag:

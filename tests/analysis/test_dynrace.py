@@ -1,0 +1,249 @@
+"""Tests for the runtime race sanitizer (race.unsync-access)."""
+
+import importlib.util
+import pathlib
+import sys
+import threading
+
+from repro.analysis.dynrace import (RaceSanitizer, activate, active,
+                                    deactivate, instrument_telemetry,
+                                    schedule_torture)
+
+FIXTURE = (pathlib.Path(__file__).parent / "fixtures" / "racy_counter.py")
+
+
+def load_fixture():
+    spec = importlib.util.spec_from_file_location("racy_counter", FIXTURE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_threads(*targets, repeat=1):
+    threads = [threading.Thread(target=t) for t in targets * repeat]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestMechanics:
+    def test_instrumented_lock_tracks_lockset(self):
+        san = RaceSanitizer()
+        lock = san.instrument_lock(threading.Lock(), "L")
+        assert san.lockset() == frozenset()
+        with lock:
+            assert san.lockset() == frozenset({"L"})
+        assert san.lockset() == frozenset()
+
+    def test_proxy_delegates_and_records(self):
+        san = RaceSanitizer()
+        proxy = san.watch([], name="rows", writes={"append"})
+        proxy.append(1)
+        proxy.append(2)
+        assert len(proxy) == 2
+        assert list(proxy) == [1, 2]
+        combos = san._combos["rows"]
+        assert any(key[3] == "write" for key in combos)
+
+    def test_method_window_includes_internal_locks(self):
+        # A method that takes its own lock must not look unsynchronized:
+        # the effective lockset covers locks acquired *during* the call.
+        class SelfLocked:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.n = 0
+
+            def bump(self):
+                with self._lock:
+                    self.n += 1
+
+        san = RaceSanitizer()
+        proxy = san.watch(SelfLocked(), name="obj", writes={"bump"})
+        run_threads(lambda: [proxy.bump() for _ in range(50)],
+                    lambda: [proxy.bump() for _ in range(50)])
+        assert san.races() == []
+
+    def test_single_thread_never_races(self):
+        san = RaceSanitizer()
+        proxy = san.watch([], name="rows", writes={"append"})
+        for k in range(10):
+            proxy.append(k)
+        assert san.races() == []
+
+    def test_construction_time_accesses_excluded(self):
+        # Thread A populates before the object is shared; only locked
+        # accesses happen after B appears — the Eraser first-thread
+        # exclusion must keep this quiet.
+        san = RaceSanitizer()
+        lock = san.instrument_lock(threading.Lock(), "L")
+        proxy = san.watch([], name="rows", writes={"append"})
+        proxy.append("setup")       # unlocked, pre-sharing
+
+        def locked_appends():
+            for _ in range(20):
+                with lock:
+                    proxy.append("x")
+
+        run_threads(locked_appends, locked_appends)
+        assert san.races() == []
+
+    def test_reset_forgets_accesses(self):
+        san = RaceSanitizer()
+        proxy = san.watch([], name="rows", writes={"append"})
+        proxy.append(1)
+        san.reset()
+        assert san._combos == {}
+
+    def test_schedule_torture_restores_interval(self):
+        old = sys.getswitchinterval()
+        with schedule_torture(1e-5):
+            # setswitchinterval stores a rounded tick count; compare
+            # with a tolerance instead of exact equality.
+            assert abs(sys.getswitchinterval() - 1e-5) < 1e-7
+        assert sys.getswitchinterval() == old
+
+    def test_activation_lifecycle(self):
+        assert active() is None
+        san = activate(RaceSanitizer())
+        try:
+            assert active() is san
+        finally:
+            deactivate()
+        assert active() is None
+
+
+class TestFixtureRace:
+    def test_fixture_race_is_observed(self):
+        # The same seeded fixture the static pass flags from source must
+        # race under the sanitizer.  Events force a deterministic
+        # overlap (locked write -> unlocked write -> locked write), so
+        # both access shapes are live post-sharing on every run.
+        counter = load_fixture().RacyCounter()
+        san = RaceSanitizer()
+        proxy = san.watch(counter, name="counter",
+                          writes={"add", "add_fast"})
+        a_went, b_went = threading.Event(), threading.Event()
+
+        def locked_writer():
+            proxy.add(1)
+            a_went.set()
+            b_went.wait(5.0)
+            proxy.add(1)
+
+        def unlocked_writer():
+            a_went.wait(5.0)
+            proxy.add_fast(1)
+            b_went.set()
+
+        with schedule_torture():
+            run_threads(locked_writer, unlocked_writer)
+        races = san.races()
+        assert races, "unguarded add_fast vs locked add must conflict"
+        assert {"add", "add_fast"} == {races[0].attr_a, races[0].attr_b}
+        diags = san.diagnostics()
+        assert {d.rule for d in diags} == {"race.unsync-access"}
+        assert "candidate" in san.summary()
+
+    def test_fixture_locked_paths_only_clean(self):
+        counter = load_fixture().RacyCounter()
+        san = RaceSanitizer()
+        proxy = san.watch(counter, name="counter",
+                          writes={"add", "add_fast"})
+        with schedule_torture():
+            run_threads(lambda: [proxy.add(1) for _ in range(200)],
+                        lambda: [proxy.add(1) for _ in range(200)])
+        assert proxy.value() == 400
+        assert san.races() == []
+
+
+class TestTortureObs:
+    """Schedule-torture stress over the real telemetry objects."""
+
+    N_THREADS = 4
+    N_EMITS = 100
+
+    def test_run_logger_emit_is_race_free(self):
+        from repro.obs import RunLogger
+
+        san = RaceSanitizer()
+        proxy = san.watch(RunLogger(), name="run_logger")
+
+        def emitter():
+            for k in range(self.N_EMITS):
+                proxy.emit("evaluation", index=k)
+
+        with schedule_torture():
+            run_threads(*[emitter] * self.N_THREADS)
+        assert len(proxy) == self.N_THREADS * self.N_EMITS
+        assert san.races() == []
+
+    def test_tracer_spans_from_threads_are_race_free(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        san = RaceSanitizer()
+        proxy = san.watch(tracer, name="tracer")
+
+        def spanner():
+            for _ in range(self.N_EMITS):
+                with proxy.span("work"):
+                    pass
+
+        with schedule_torture():
+            run_threads(*[spanner] * self.N_THREADS)
+        assert len(tracer.roots()) == self.N_THREADS * self.N_EMITS
+        assert san.races() == []
+
+    def test_heartbeat_path_is_race_free(self):
+        # The motivating concurrency: the pool heartbeat daemon sharing
+        # metrics + run logger with the "optimizer" thread.
+        import time
+
+        from repro.core.parallel import _Heartbeat
+        from repro.obs import MetricsRegistry, RunLogger, Telemetry
+
+        telemetry = Telemetry(metrics=MetricsRegistry(),
+                              run_logger=RunLogger())
+        san = RaceSanitizer()
+        instrument_telemetry(telemetry, sanitizer=san)
+
+        with schedule_torture():
+            hb = _Heartbeat(telemetry, interval_s=0.002, n=8, n_workers=2)
+            try:
+                deadline = time.perf_counter() + 0.25
+                while time.perf_counter() < deadline:
+                    telemetry.inc("sims_total", kind="actor")
+                    telemetry.observe("sim_latency_s", 0.01, kind="actor")
+            finally:
+                hb.stop()
+        beats = telemetry.run_logger.events("heartbeat")
+        assert beats, "heartbeat thread should have emitted"
+        assert telemetry.metrics.gauge_value("pool_workers_busy") == 2
+        assert san.races() == []
+
+
+class TestInstrumentTelemetry:
+    def test_channels_swapped_in_place(self):
+        from repro.analysis.dynrace import WatchProxy
+        from repro.obs import MetricsRegistry, RunLogger, Telemetry
+
+        telemetry = Telemetry(metrics=MetricsRegistry(),
+                              run_logger=RunLogger())
+        san = RaceSanitizer()
+        out = instrument_telemetry(telemetry, sanitizer=san)
+        assert out is telemetry
+        assert isinstance(telemetry.metrics, WatchProxy)
+        assert isinstance(telemetry.run_logger, WatchProxy)
+        assert telemetry.tracer is None
+
+    def test_noop_without_active_sanitizer(self):
+        from repro.obs import RunLogger, Telemetry
+
+        telemetry = Telemetry(run_logger=RunLogger())
+        logger = telemetry.run_logger
+        assert instrument_telemetry(telemetry) is telemetry
+        assert telemetry.run_logger is logger
+
+    def test_none_bundle_is_noop(self):
+        assert instrument_telemetry(None, sanitizer=RaceSanitizer()) is None

@@ -1,0 +1,371 @@
+"""Tests for the lockset / guarded-by analyzer (flow.lock.*)."""
+
+import pathlib
+import textwrap
+
+from repro.analysis.locks import check_paths, check_source
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def check(snippet, path="m.py"):
+    return check_source(textwrap.dedent(snippet), path=path)
+
+
+def rules(diags):
+    return {d.rule for d in diags}
+
+
+class TestGuardInference:
+    def test_unguarded_write_fires(self):
+        diags = check("""
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+                def add(self, n):
+                    with self._lock:
+                        self.total = self.total + n
+                def add_fast(self, n):
+                    self.total = self.total + n
+        """)
+        assert "flow.lock.unguarded-write" in rules(diags)
+
+    def test_unguarded_read_fires(self):
+        diags = check("""
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+                def add(self, n):
+                    with self._lock:
+                        self.total = self.total + n
+                def peek(self):
+                    return self.total
+        """)
+        assert "flow.lock.unguarded-read" in rules(diags)
+
+    def test_all_locked_accesses_clean(self):
+        diags = check("""
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+                def add(self, n):
+                    with self._lock:
+                        self.total = self.total + n
+                def value(self):
+                    with self._lock:
+                        return self.total
+        """)
+        assert rules(diags) == set()
+
+    def test_init_writes_neither_infer_nor_fire(self):
+        # Construction-time writes are pre-sharing: no guard inference
+        # from __init__, no findings inside it.
+        diags = check("""
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.items = []
+                def get(self):
+                    return self.items
+        """)
+        assert rules(diags) == set()
+
+    def test_mutator_method_counts_as_write(self):
+        diags = check("""
+            import threading
+
+            class Sink:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.rows = []
+                def push(self, row):
+                    with self._lock:
+                        self.rows.append(row)
+                def push_unsafe(self, row):
+                    self.rows.append(row)
+        """)
+        assert "flow.lock.unguarded-write" in rules(diags)
+
+    def test_lock_free_class_clean(self):
+        diags = check("""
+            class Plain:
+                def __init__(self):
+                    self.x = 0
+                def bump(self):
+                    self.x += 1
+        """)
+        assert rules(diags) == set()
+
+
+class TestGuardedByAnnotation:
+    def test_declared_guard_fires_on_unlocked_read(self):
+        # The attribute is only ever written in __init__, so inference
+        # alone would never guard it — the annotation does.
+        diags = check("""
+            import threading
+
+            class Holder:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.state = {}  # repro: guarded-by[_lock]
+                def peek(self):
+                    return self.state
+        """)
+        assert "flow.lock.unguarded-read" in rules(diags)
+
+    def test_declared_guard_locked_access_clean(self):
+        diags = check("""
+            import threading
+
+            class Holder:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.state = {}  # repro: guarded-by[_lock]
+                def peek(self):
+                    with self._lock:
+                        return self.state
+        """)
+        assert rules(diags) == set()
+
+    def test_suppression_silences_finding(self):
+        diags = check("""
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+                def add(self, n):
+                    with self._lock:
+                        self.total = self.total + n
+                def add_fast(self, n):
+                    self.total = self.total + n  # repro: ignore[flow.lock]
+        """)
+        assert "flow.lock.unguarded-write" not in rules(diags)
+
+
+class TestLockOrder:
+    def test_opposite_orders_fire(self):
+        diags = check("""
+            import threading
+
+            A = threading.Lock()
+            B = threading.Lock()
+
+            def ab():
+                with A:
+                    with B:
+                        pass
+
+            def ba():
+                with B:
+                    with A:
+                        pass
+        """)
+        assert "flow.lock.order" in rules(diags)
+
+    def test_consistent_order_clean(self):
+        diags = check("""
+            import threading
+
+            A = threading.Lock()
+            B = threading.Lock()
+
+            def one():
+                with A:
+                    with B:
+                        pass
+
+            def two():
+                with A:
+                    with B:
+                        pass
+        """)
+        assert "flow.lock.order" not in rules(diags)
+
+    def test_cycle_via_intermediate_lock_fires(self):
+        # A->B, B->C, C->A: no direct back-edge, still a deadlock cycle.
+        diags = check("""
+            import threading
+
+            A = threading.Lock()
+            B = threading.Lock()
+            C = threading.Lock()
+
+            def f():
+                with A:
+                    with B:
+                        pass
+
+            def g():
+                with B:
+                    with C:
+                        pass
+
+            def h():
+                with C:
+                    with A:
+                        pass
+        """)
+        assert "flow.lock.order" in rules(diags)
+
+    def test_self_lock_order_across_methods(self):
+        diags = check("""
+            import threading
+
+            class Twin:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+                def fwd(self):
+                    with self._a:
+                        with self._b:
+                            pass
+                def rev(self):
+                    with self._b:
+                        with self._a:
+                            pass
+        """)
+        assert "flow.lock.order" in rules(diags)
+
+
+class TestBlocking:
+    def test_sleep_under_lock_fires(self):
+        diags = check("""
+            import threading
+            import time
+
+            class Poller:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                def wait(self):
+                    with self._lock:
+                        time.sleep(1.0)
+        """)
+        assert "flow.lock.blocking" in rules(diags)
+
+    def test_thread_join_under_lock_fires(self):
+        diags = check("""
+            import threading
+
+            class Owner:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._thread = threading.Thread(target=print)
+                def stop(self):
+                    with self._lock:
+                        self._thread.join()
+        """)
+        assert "flow.lock.blocking" in rules(diags)
+
+    def test_file_write_under_lock_fires(self):
+        diags = check("""
+            import threading
+
+            class Writer:
+                def __init__(self, fh):
+                    self._lock = threading.Lock()
+                    self._fh = fh
+                def emit(self, line):
+                    with self._lock:
+                        self._fh.write(line)
+        """)
+        assert "flow.lock.blocking" in rules(diags)
+
+    def test_string_join_under_lock_clean(self):
+        # ', '.join is not a thread join; the receiver-name gate must
+        # keep it quiet.
+        diags = check("""
+            import threading
+
+            class Fmt:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.parts = []
+                def render(self, sep):
+                    with self._lock:
+                        return sep.join(self.parts)
+        """)
+        assert "flow.lock.blocking" not in rules(diags)
+
+    def test_sleep_outside_lock_clean(self):
+        diags = check("""
+            import threading
+            import time
+
+            class Poller:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                def wait(self):
+                    time.sleep(1.0)
+        """)
+        assert "flow.lock.blocking" not in rules(diags)
+
+
+class TestWorkerCapture:
+    def test_closure_over_lock_fires(self):
+        diags = check("""
+            import threading
+
+            def run(pool, designs):
+                lk = threading.Lock()
+                def worker(u):
+                    with lk:
+                        return u + 1
+                return pool.map(worker, designs)
+        """)
+        assert "flow.lock.worker-capture" in rules(diags)
+
+    def test_lock_passed_into_submission_fires(self):
+        diags = check("""
+            import threading
+
+            def run(pool, worker, designs):
+                lk = threading.Lock()
+                return pool.apply_async(worker, (designs, lk))
+        """)
+        assert "flow.lock.worker-capture" in rules(diags)
+
+    def test_parent_side_lock_clean(self):
+        diags = check("""
+            import threading
+
+            def run(pool, worker, designs):
+                lk = threading.Lock()
+                results = pool.map(worker, designs)
+                with lk:
+                    return list(results)
+        """)
+        assert "flow.lock.worker-capture" not in rules(diags)
+
+
+class TestEntryPoints:
+    def test_syntax_error_is_a_diagnostic(self):
+        diags = check_source("def broken(:\n", path="x.py")
+        assert rules(diags) == {"code.syntax"}
+
+    def test_fixture_is_caught_statically(self):
+        # The seeded cross-prong fixture: the same file the dynamic
+        # sanitizer races in test_dynrace must be flagged from source.
+        diags = check_paths([FIXTURES / "racy_counter.py"])
+        assert "flow.lock.unguarded-write" in rules(diags)
+        assert any("add_fast" in d.message for d in diags)
+
+    def test_repo_obs_tree_clean(self):
+        # The telemetry layer is the pass's motivating target; it must
+        # hold the lock discipline the analyzer checks.
+        import repro
+
+        root = pathlib.Path(repro.__file__).parent
+        assert check_paths([root / "obs"]) == []

@@ -293,7 +293,8 @@ class MAOptimizer:
             f_init: np.ndarray | None = None,
             method_name: str | None = None,
             checkpoint_path: str | None = None,
-            checkpoint_every: int | None = None) -> OptimizationResult:
+            checkpoint_every: int | None = None,
+            should_stop: Any = None) -> OptimizationResult:
         """Alg. 3: run until ``n_sims`` post-init simulations are spent.
 
         When a checkpoint path is configured (either here or on
@@ -301,6 +302,16 @@ class MAOptimizer:
         ``checkpoint_every`` rounds plus once at the end, so a killed run
         resumes bit-exactly via :meth:`restore`.  A restored optimizer
         continues toward ``n_sims`` from the records it already holds.
+
+        ``should_stop`` is the cooperative-cancellation hook used by the
+        job service (:mod:`repro.serve`): a zero-argument callable polled
+        between rounds.  When it returns a truthy reason string the run
+        stops early — a final checkpoint is still written, the ``run_end``
+        event carries ``stopped=<reason>``, and the result's
+        ``meta["stopped"]`` records why.  Observers see ``on_run_stopped``
+        instead of ``on_run_end`` so run-store recorders can seal the
+        record with the right status (cancelled/interrupted) instead of
+        "finished".
         """
         res_cfg = self.config.resilience
         ckpt_path = checkpoint_path or (
@@ -327,6 +338,7 @@ class MAOptimizer:
             self.run_log.emit("config_warning", rule=diag.rule,
                               severity=str(diag.severity),
                               message=diag.message, fix=diag.fix)
+        stop_reason: str | None = None
         with self.obs.span("run", method=name, task=self.task.name,
                            run_id=run_id):
             with self._executor:
@@ -334,25 +346,44 @@ class MAOptimizer:
                     self.initialize(n_init=n_init, x_init=x_init,
                                     f_init=f_init)
                 while len(self._records) < n_sims:
+                    if should_stop is not None:
+                        stop_reason = should_stop() or None
+                        if stop_reason:
+                            self.run_log.emit("run_stopped",
+                                              reason=stop_reason,
+                                              round=self._round,
+                                              n_sims=len(self._records))
+                            break
                     self.step(budget=n_sims - len(self._records))
                     if (ckpt_path and ckpt_every
                             and self._round % ckpt_every == 0):
                         self.save_checkpoint(ckpt_path)
             if ckpt_path:
                 self.save_checkpoint(ckpt_path)
+        meta = {"rounds": self._round, "config": self.config,
+                "diagnostics": self.diagnostics, "run_id": run_id}
+        if stop_reason:
+            meta["stopped"] = stop_reason
         result = OptimizationResult(
             task_name=self.task.name,
             method=name,
             records=list(self._records),
             init_best_fom=self._init_best_fom,
             wall_time_s=time.perf_counter() - start,
-            meta={"rounds": self._round, "config": self.config,
-                  "diagnostics": self.diagnostics, "run_id": run_id},
+            meta=meta,
         )
-        self.run_log.emit("run_end", method=name, n_sims=len(self._records),
-                          best_fom=result.best_fom, success=result.success,
-                          wall_time_s=result.wall_time_s, run_id=run_id)
-        self._observers.emit("on_run_end", self, result)
+        end_info = dict(method=name, n_sims=len(self._records),
+                        best_fom=result.best_fom, success=result.success,
+                        wall_time_s=result.wall_time_s, run_id=run_id)
+        if stop_reason:
+            end_info["stopped"] = stop_reason
+        self.run_log.emit("run_end", **end_info)
+        # A stopped run is not a finished run: recorders must not seal the
+        # record as "finished" when the service cancelled or interrupted it.
+        if stop_reason:
+            self._observers.emit("on_run_stopped", self, result, stop_reason)
+        else:
+            self._observers.emit("on_run_end", self, result)
         return result
 
     # -- checkpoint / resume -------------------------------------------------

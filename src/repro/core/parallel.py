@@ -161,8 +161,13 @@ class _Heartbeat:
         self.n = n
         self.n_workers = n_workers
         self._stop = threading.Event()
+        # Under the job service many optimizations beat concurrently in
+        # one process; the run id in the thread name keeps `py-spy`/faulthandler
+        # dumps attributable to a job.
+        name = ("sim-heartbeat" if obs.run_id is None
+                else f"sim-heartbeat-{obs.run_id}")
         self._thread = threading.Thread(
-            target=self._run, name="sim-heartbeat", daemon=True)
+            target=self._run, name=name, daemon=True)
         self._t0 = time.perf_counter()
         self._thread.start()
 

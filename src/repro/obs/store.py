@@ -57,6 +57,13 @@ METRICS_STREAM = "metrics.jsonl"
 METRICS_FINAL = "metrics.json"
 TRACE = "trace.jsonl"
 
+#: Manifest statuses.  ``cancelled`` and ``interrupted`` come from the job
+#: service: a cancelled job's run was stopped on purpose; an interrupted
+#: run was checkpointed and parked by a server shutdown (``ma-opt serve
+#: --resume`` continues it in a fresh attempt directory).
+STATUSES = ("running", "finished", "failed", "cancelled", "interrupted")
+TERMINAL_STATUSES = ("finished", "failed", "cancelled", "interrupted")
+
 
 def new_run_id() -> str:
     """Sortable, collision-resistant run ID: UTC timestamp + random hex."""
@@ -78,7 +85,7 @@ def validate_manifest(doc: Any) -> list[str]:
             f"reads version {SCHEMA_VERSION}")
     if not isinstance(doc.get("run_id"), str) or not doc.get("run_id"):
         problems.append("missing run_id")
-    if doc.get("status") not in ("running", "finished", "failed"):
+    if doc.get("status") not in STATUSES:
         problems.append(f"bad status {doc.get('status')!r}")
     return problems
 
@@ -93,11 +100,9 @@ def ensure_valid_manifest(doc: Any, source: str = "manifest") -> dict:
 
 def _write_json_atomic(path: pathlib.Path, doc: dict) -> None:
     """Write ``doc`` deterministically via tmp + rename (no torn reads)."""
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(json.dumps(doc, indent=2, sort_keys=True,
-                              default=_json_default) + "\n",
-                   encoding="utf-8")
-    os.replace(tmp, path)
+    from repro.resilience.checkpoint import atomic_write_json
+
+    atomic_write_json(path, doc, default=_json_default)
 
 
 def _read_jsonl(path: pathlib.Path) -> list[dict]:
@@ -225,6 +230,20 @@ class RunRecorder(BaseObserver):
 
     def on_run_end(self, optimizer: Any, result: Any) -> None:
         self.finalize(result)
+
+    #: Stop reason -> manifest status for runs ended via ``should_stop``.
+    _STOP_STATUS = {"cancelled": "cancelled", "shutdown": "interrupted",
+                    "timeout": "failed"}
+
+    def on_run_stopped(self, optimizer: Any, result: Any,
+                       reason: str) -> None:
+        """Seal a cooperatively-stopped run with the status its reason
+        implies (job-service cancel/shutdown/timeout semantics)."""
+        status = self._STOP_STATUS.get(reason, "interrupted")
+        if status == "failed":
+            self._manifest["error"] = f"stopped: {reason}"
+        self._manifest["stopped"] = reason
+        self.finalize(result, status=status)
 
     # -- completion ----------------------------------------------------------
     def finalize(self, result: Any = None, status: str = "finished") -> None:

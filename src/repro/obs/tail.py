@@ -25,7 +25,23 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
-from repro.obs.store import EVENTS, METRICS_STREAM, RunStore
+from repro.obs.store import (EVENTS, MANIFEST, METRICS_STREAM,
+                             TERMINAL_STATUSES, RunStore)
+
+
+def manifest_status(run_dir: str | pathlib.Path) -> str | None:
+    """The run's manifest ``status``, or None when unreadable/absent.
+
+    Lets the tail loop notice runs that ended *without* a ``run_end``
+    event — failed, cancelled, or interrupted (job-service) runs seal
+    their manifest but never emit the finish event the event-stream fold
+    waits for.
+    """
+    path = pathlib.Path(run_dir) / MANIFEST
+    try:
+        return json.loads(path.read_text(encoding="utf-8")).get("status")
+    except (OSError, ValueError):
+        return None
 
 
 def read_new_lines(path: str | pathlib.Path,
@@ -204,9 +220,20 @@ def tail_run(run_dir: str | pathlib.Path,
             last_data = now
         stalled = (now - last_data if state.status == "running"
                    and now - last_data >= stall_after_s else None)
-        if fresh or once or stalled is not None:
+        sealed = None
+        if not fresh and state.status != "finished":
+            # No run_end event and nothing new on disk: the manifest is
+            # the authority on runs that ended abnormally (failed /
+            # cancelled / interrupted) — they seal their status without
+            # ever emitting the finish event this fold waits for.
+            sealed = manifest_status(run_dir)
+            if sealed in TERMINAL_STATUSES:
+                state.status = sealed
+            else:
+                sealed = None
+        if fresh or once or sealed is not None or stalled is not None:
             print(render(state, stalled_s=stalled), file=out, flush=True)
-        if once or state.status == "finished":
+        if once or state.status == "finished" or sealed is not None:
             return state
         if max_polls is not None and polls >= max_polls:
             return state

@@ -27,6 +27,7 @@ both the serial and process-pool paths.  See ``docs/resilience.md``.
 from repro.core.config import ResilienceConfig
 from repro.resilience.checkpoint import (
     CHECKPOINT_VERSION,
+    atomic_write_json,
     load_checkpoint,
     save_checkpoint,
 )
@@ -44,6 +45,7 @@ from repro.resilience.policy import (
 __all__ = [
     "CHECKPOINT_VERSION",
     "FaultyTask",
+    "atomic_write_json",
     "InjectedFault",
     "NonFiniteMetrics",
     "ResilienceConfig",

@@ -16,14 +16,40 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import threading
 
 import numpy as np
 
-__all__ = ["CHECKPOINT_VERSION", "load_checkpoint", "save_checkpoint"]
+__all__ = ["CHECKPOINT_VERSION", "atomic_write_json", "load_checkpoint",
+           "save_checkpoint"]
 
 CHECKPOINT_VERSION = 1
 
 _HEADER_KEY = "__header__"
+
+
+def atomic_write_json(path: str | pathlib.Path, doc: dict,
+                      default=None) -> pathlib.Path:
+    """Write ``doc`` as deterministic JSON via tmp-file + :func:`os.replace`.
+
+    The durability primitive shared by every on-disk record in the repo
+    (run-store manifests, job-service records, server endpoint files): a
+    crash mid-write can never leave a torn document where a good one used
+    to be, and concurrent readers always see either the old or the new
+    version.  ``default`` is forwarded to :func:`json.dumps` for values
+    that need coercion (numpy scalars and the like).
+    """
+    path = pathlib.Path(path)
+    # Per-writer temp name (pid + thread id): two threads updating the
+    # same document race benignly — last replace wins — instead of one
+    # replacing a temp file the other already consumed.
+    tmp = path.with_name(
+        f"{path.name}.tmp-{os.getpid()}-{threading.get_ident()}")
+    tmp.write_text(json.dumps(doc, indent=2, sort_keys=True,
+                              default=default) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, path)
+    return path
 
 
 def save_checkpoint(path: str | pathlib.Path, header: dict,

@@ -1,0 +1,63 @@
+"""``repro.serve`` — optimization-as-a-service for the MA-Opt stack.
+
+The paper's experiments are long (hundreds of simulator calls per run);
+this package turns the repo's optimizers into a local service so many
+runs share one machine fairly and survive restarts:
+
+* **job specs** (:mod:`repro.serve.jobs`): versioned
+  ``repro.serve/job`` JSON documents validated at submit time with the
+  same diagnostic machinery as every other linter in the repo (``job.*``
+  rules composed with the ``cfg.*`` optimizer-config cross-checks);
+* **scheduling** (:class:`JobManager`): priority lanes, FIFO within a
+  lane, per-tenant concurrency caps, cancel/timeout, worker threads —
+  policy isolated in the pure :func:`select_next`;
+* **protocol** (:mod:`repro.serve.protocol` /
+  :mod:`repro.serve.server`): newline-delimited JSON over a loopback
+  socket with request IDs and structured error replies; the endpoint is
+  published to ``<root>/server.json`` for discovery;
+* **client** (:class:`JobClient`): the blocking connection behind
+  ``ma-opt serve`` / ``ma-opt submit`` / ``ma-opt jobs ...``;
+* **durability**: every attempt records into the
+  :mod:`repro.obs.store` run store (so ``ma-opt jobs tail`` reuses the
+  ordinary run-tail machinery), MA-family jobs checkpoint via
+  :mod:`repro.resilience`, and ``ma-opt serve --resume`` re-queues
+  queued/interrupted/crashed jobs and continues them bit-exactly.
+
+See ``docs/service.md`` for the protocol reference and a walkthrough.
+"""
+
+from repro.core.config import PRIORITY_LANES, ServeConfig
+from repro.serve.client import JobClient, ServeError, read_endpoint
+from repro.serve.jobs import (
+    JOB_RULES,
+    JOB_STATES,
+    TERMINAL_JOB_STATES,
+    Job,
+    JobManager,
+    JobValidationError,
+    canonical_spec,
+    select_next,
+    spec_hash,
+    validate_job,
+)
+from repro.serve.server import JobServer, endpoint_path
+
+__all__ = [
+    "JOB_RULES",
+    "JOB_STATES",
+    "Job",
+    "JobClient",
+    "JobManager",
+    "JobServer",
+    "JobValidationError",
+    "PRIORITY_LANES",
+    "ServeConfig",
+    "ServeError",
+    "TERMINAL_JOB_STATES",
+    "canonical_spec",
+    "endpoint_path",
+    "read_endpoint",
+    "select_next",
+    "spec_hash",
+    "validate_job",
+]

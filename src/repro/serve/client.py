@@ -1,0 +1,168 @@
+"""Blocking protocol client: what ``ma-opt submit`` / ``ma-opt jobs``
+speak.
+
+A :class:`JobClient` holds one connection and issues one request at a
+time (it is deliberately *not* thread-safe — give each thread its own
+client; connections are cheap and the server is threaded).  Structured
+server errors surface as :class:`ServeError` with the protocol error
+code and any validation diagnostics attached.
+
+Discovery: :meth:`JobClient.connect` reads the ``server.json`` endpoint
+file a running server publishes under its service root, so callers
+address the service by directory, not by host/port.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import socket
+import time
+from typing import Any, Mapping
+
+from repro.serve import protocol
+from repro.serve.jobs import TERMINAL_JOB_STATES
+from repro.serve.server import endpoint_path
+
+
+class ServeError(RuntimeError):
+    """A structured error reply (or transport failure); ``code`` is one
+    of :data:`repro.serve.protocol.ERROR_CODES` (or ``"disconnected"``)."""
+
+    def __init__(self, code: str, message: str,
+                 diagnostics: list | None = None) -> None:
+        self.code = code
+        self.diagnostics = list(diagnostics or [])
+        super().__init__(f"{code}: {message}")
+
+
+def read_endpoint(root: str | pathlib.Path) -> dict:
+    """The endpoint document published by a server on ``root``.
+
+    Raises :class:`ServeError` when no server has published one (the
+    ``ma-opt submit`` failure mode for "did you start ``ma-opt
+    serve``?").
+    """
+    path = endpoint_path(root)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ServeError(
+            "disconnected",
+            f"no server endpoint at {path} — is `ma-opt serve --root "
+            f"{root}` running?") from None
+    except ValueError as exc:
+        raise ServeError("disconnected",
+                         f"unreadable endpoint file {path}: {exc}") \
+            from None
+    if doc.get("schema") != "repro.serve/endpoint":
+        raise ServeError("disconnected",
+                         f"{path} is not an endpoint document")
+    return doc
+
+
+class JobClient:
+    """One connection to a job server; request/reply, in order."""
+
+    def __init__(self, host: str, port: int,
+                 timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._fh = self._sock.makefile("rwb")
+        self._n_requests = 0
+
+    @classmethod
+    def connect(cls, root: str | pathlib.Path,
+                timeout: float = 30.0) -> "JobClient":
+        """Connect via a service root's published endpoint file."""
+        doc = read_endpoint(root)
+        return cls(str(doc["host"]), int(doc["port"]), timeout=timeout)
+
+    def close(self) -> None:
+        self._fh.close()
+        self._sock.close()
+
+    def __enter__(self) -> "JobClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- request plumbing ----------------------------------------------------
+    def request(self, op: str,
+                params: Mapping[str, Any] | None = None) -> Any:
+        """One round-trip; returns the reply's ``result`` or raises
+        :class:`ServeError`."""
+        self._n_requests += 1
+        req_id = f"req-{self._n_requests:04d}"
+        try:
+            self._fh.write(protocol.encode(
+                protocol.request(op, req_id, params)))
+            self._fh.flush()
+            line = self._fh.readline(protocol.MAX_FRAME_BYTES + 1)
+        except OSError as exc:
+            raise ServeError("disconnected", str(exc)) from None
+        if not line:
+            raise ServeError("disconnected",
+                             "server closed the connection")
+        reply = protocol.decode(line)
+        if reply.get("id") not in (req_id, None):
+            raise ServeError("bad-request",
+                             f"reply for {reply.get('id')!r}, expected "
+                             f"{req_id!r}")
+        if not reply.get("ok"):
+            error = reply.get("error") or {}
+            raise ServeError(str(error.get("code", "internal")),
+                             str(error.get("message", "unknown error")),
+                             diagnostics=error.get("diagnostics"))
+        return reply.get("result")
+
+    # -- ops -----------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def submit(self, spec: Mapping[str, Any]) -> dict:
+        """Submit a job spec; returns the accepted job record."""
+        return self.request("submit", {"spec": dict(spec)})["job"]
+
+    def status(self, job_id: str) -> dict:
+        return self.request("status", {"job_id": job_id})["job"]
+
+    def result(self, job_id: str) -> dict:
+        """Record of a finished job (``not-finished`` error otherwise)."""
+        return self.request("result", {"job_id": job_id})["job"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self.request("cancel", {"job_id": job_id})["job"]
+
+    def list_jobs(self, tenant: str | None = None,
+                  state: str | None = None) -> list[dict]:
+        params: dict[str, Any] = {}
+        if tenant is not None:
+            params["tenant"] = tenant
+        if state is not None:
+            params["state"] = state
+        return self.request("list", params)["jobs"]
+
+    def tail_info(self, job_id: str) -> dict:
+        """Run-dir pointer for following a job's live event stream."""
+        return self.request("tail", {"job_id": job_id})
+
+    def wait(self, job_id: str, timeout: float | None = None,
+             poll_s: float = 0.2) -> dict:
+        """Poll ``status`` until the job is terminal; returns the record.
+
+        Raises :class:`ServeError` (code ``"timeout"``) when ``timeout``
+        seconds pass first.
+        """
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while True:
+            record = self.status(job_id)
+            if record["state"] in TERMINAL_JOB_STATES:
+                return record
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServeError(
+                    "timeout", f"job {job_id} still "
+                    f"{record['state']} after {timeout}s")
+            time.sleep(poll_s)

@@ -1,0 +1,120 @@
+"""Wire protocol of the job service: newline-delimited JSON frames.
+
+One request per line, one reply per line, UTF-8, no length prefixes —
+the protocol is debuggable with ``nc`` and versioned like every other
+on-disk/on-wire document in the repo (``repro.serve/ndjson`` v1).
+
+Request::
+
+    {"id": "req-0001", "op": "submit", "params": {"spec": {...}}}
+
+Reply (exactly one per request, carrying the request's ``id``)::
+
+    {"id": "req-0001", "ok": true,  "result": {...}}
+    {"id": "req-0001", "ok": false,
+     "error": {"code": "invalid-job", "message": "...",
+               "diagnostics": [...]}}
+
+Ops: ``ping``, ``submit``, ``status``, ``result``, ``cancel``, ``list``,
+``tail``.  Structured error codes (not prose) are the contract clients
+branch on; ``diagnostics`` carries rendered
+:class:`~repro.analysis.diagnostics.Diagnostic` dicts when validation
+rejected a spec.  This module is pure framing/validation — no sockets —
+so both ends and the tests share one implementation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+PROTOCOL_NAME = "repro.serve/ndjson"
+PROTOCOL_VERSION = 1
+
+#: Operations a v1 server understands.
+OPS = ("ping", "submit", "status", "result", "cancel", "list", "tail")
+
+#: Structured error codes a v1 server may return.
+ERROR_CODES = ("bad-request", "unknown-op", "invalid-job", "unknown-job",
+               "not-finished", "shutting-down", "internal")
+
+#: Upper bound on one frame; a line longer than this is a protocol error
+#: (protects the server from an unframed garbage stream).
+MAX_FRAME_BYTES = 1_000_000
+
+
+class ProtocolError(ValueError):
+    """A malformed frame or request; ``code`` is the error code to reply
+    with."""
+
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        super().__init__(message)
+
+
+def request(op: str, req_id: str,
+            params: Mapping[str, Any] | None = None) -> dict:
+    """Build a request document."""
+    return {"id": req_id, "op": op, "params": dict(params or {})}
+
+
+def ok_reply(req_id: str | None, result: Any) -> dict:
+    """Build a success reply."""
+    return {"id": req_id, "ok": True, "result": result}
+
+
+def error_reply(req_id: str | None, code: str, message: str,
+                diagnostics: list | None = None) -> dict:
+    """Build a structured error reply."""
+    error: dict[str, Any] = {"code": code, "message": message}
+    if diagnostics:
+        error["diagnostics"] = list(diagnostics)
+    return {"id": req_id, "ok": False, "error": error}
+
+
+def encode(doc: Mapping[str, Any]) -> bytes:
+    """One wire frame: compact JSON + newline."""
+    return (json.dumps(doc, sort_keys=True, separators=(",", ":"))
+            + "\n").encode("utf-8")
+
+
+def decode(line: bytes | str) -> dict:
+    """Parse one frame; raises :class:`ProtocolError` on garbage."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_FRAME_BYTES:
+            raise ProtocolError("bad-request",
+                                f"frame exceeds {MAX_FRAME_BYTES} bytes")
+        line = line.decode("utf-8", errors="replace")
+    try:
+        doc = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError("bad-request",
+                            f"frame is not JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise ProtocolError("bad-request",
+                            f"frame is {type(doc).__name__}, expected "
+                            f"an object")
+    return doc
+
+
+def validate_request(doc: Mapping[str, Any]) -> dict:
+    """Check a decoded frame is a well-formed v1 request.
+
+    Returns ``{"id", "op", "params"}`` (params defaulted); raises
+    :class:`ProtocolError` with the code to reply with otherwise.
+    """
+    req_id = doc.get("id")
+    if req_id is not None and not isinstance(req_id, str):
+        raise ProtocolError("bad-request", "request id must be a string")
+    op = doc.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("bad-request", "request has no op")
+    if op not in OPS:
+        raise ProtocolError("unknown-op",
+                            f"unknown op {op!r}; this server speaks "
+                            f"{PROTOCOL_NAME} v{PROTOCOL_VERSION} "
+                            f"({', '.join(OPS)})")
+    params = doc.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("bad-request", "params must be an object")
+    return {"id": req_id, "op": op, "params": params}

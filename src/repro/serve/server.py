@@ -1,0 +1,190 @@
+"""Threaded NDJSON socket server in front of a :class:`JobManager`.
+
+The server owns nothing but transport: every op maps 1:1 onto a manager
+method, every manager exception maps onto a structured protocol error.
+It listens on a loopback TCP socket (``port 0`` by default — the OS
+picks a free port) and publishes the chosen endpoint to
+``<root>/server.json`` so clients discover it by service root rather
+than by copy-pasted port numbers.
+
+Thread model: one accept thread (``serve-accept``) plus one thread per
+connection (``serve-conn-<n>``), all daemon and joined on
+:meth:`JobServer.close`.  A connection may pipeline any number of
+requests; replies come back in order, one line each.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import socket
+import threading
+import time
+from typing import Any
+
+from repro.resilience.checkpoint import atomic_write_json
+from repro.serve import protocol
+from repro.serve.jobs import JobManager, JobValidationError
+
+ENDPOINT_SCHEMA_NAME = "repro.serve/endpoint"
+ENDPOINT_FILE = "server.json"
+
+
+def endpoint_path(root: str | pathlib.Path) -> pathlib.Path:
+    """Where a service root publishes its live endpoint."""
+    return pathlib.Path(root) / ENDPOINT_FILE
+
+
+class JobServer:
+    """Accepts protocol connections and dispatches ops to the manager."""
+
+    def __init__(self, manager: JobManager,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self._sock: socket.socket | None = None
+        self._stopping = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._conn_threads: list[threading.Thread] = []
+        self._n_conns = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "JobServer":
+        """Bind, publish the endpoint file, and start accepting."""
+        if self._sock is not None:
+            return self
+        sock = socket.create_server((self.host, self.port))
+        self._sock = sock
+        self.host, self.port = sock.getsockname()[:2]
+        atomic_write_json(endpoint_path(self.manager.root), {
+            "schema": ENDPOINT_SCHEMA_NAME,
+            "schema_version": protocol.PROTOCOL_VERSION,
+            "protocol": protocol.PROTOCOL_NAME,
+            "host": self.host,
+            "port": self.port,
+            "pid": os.getpid(),
+            "started_unix": time.time(),
+        })
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="serve-accept", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def __enter__(self) -> "JobServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def close(self, timeout: float = 2.0) -> None:
+        """Stop accepting, close the socket, retire the endpoint file.
+
+        Connection threads get ``timeout`` seconds to finish their
+        in-flight request; they are daemon threads, so a client that
+        never hangs up cannot keep the process alive.
+        """
+        self._stopping.set()
+        if self._sock is not None:
+            self._sock.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=timeout)
+        with self._lock:
+            threads = list(self._conn_threads)
+        for thread in threads:
+            thread.join(timeout=timeout)
+        path = endpoint_path(self.manager.root)
+        if path.exists():
+            path.unlink()
+
+    # -- transport -----------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._sock is not None
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:  # socket closed by close()
+                return
+            with self._lock:
+                self._n_conns += 1
+                name = f"serve-conn-{self._n_conns}"
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn,),
+                    name=name, daemon=True)
+                self._conn_threads.append(thread)
+                self._conn_threads = [t for t in self._conn_threads
+                                      if t.is_alive() or t is thread]
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            fh = conn.makefile("rwb")
+            while not self._stopping.is_set():
+                try:
+                    line = fh.readline(protocol.MAX_FRAME_BYTES + 1)
+                except OSError:
+                    return
+                if not line:
+                    return
+                reply = self._handle_line(line)
+                try:
+                    fh.write(protocol.encode(reply))
+                    fh.flush()
+                except OSError:
+                    return
+
+    def _handle_line(self, line: bytes) -> dict:
+        req_id: str | None = None
+        try:
+            doc = protocol.decode(line)
+            req_id = doc.get("id") if isinstance(doc.get("id"), str) \
+                else None
+            req = protocol.validate_request(doc)
+            return protocol.ok_reply(
+                req["id"], self._dispatch(req["op"], req["params"]))
+        except protocol.ProtocolError as exc:
+            return protocol.error_reply(req_id, exc.code, str(exc))
+        except JobValidationError as exc:
+            return protocol.error_reply(
+                req_id, "invalid-job", str(exc),
+                diagnostics=[d.to_dict() for d in exc.diagnostics])
+        except KeyError as exc:
+            return protocol.error_reply(req_id, "unknown-job",
+                                        str(exc.args[0]))
+        except RuntimeError as exc:
+            code = ("shutting-down" if "shutting down" in str(exc)
+                    else "not-finished")
+            return protocol.error_reply(req_id, code, str(exc))
+        except Exception as exc:  # a bug must not kill the connection
+            return protocol.error_reply(req_id, "internal", repr(exc))
+
+    # -- op dispatch ---------------------------------------------------------
+    def _dispatch(self, op: str, params: dict) -> Any:
+        if op == "ping":
+            return {"protocol": protocol.PROTOCOL_NAME,
+                    "version": protocol.PROTOCOL_VERSION,
+                    "pid": os.getpid(),
+                    "jobs": self.manager.counts()}
+        if op == "submit":
+            spec = params.get("spec")
+            if not isinstance(spec, dict):
+                raise protocol.ProtocolError(
+                    "bad-request", "submit needs params.spec (an object)")
+            return {"job": self.manager.submit(spec)}
+        job_id = params.get("job_id")
+        if op == "list":
+            return {"jobs": self.manager.list_jobs(
+                tenant=params.get("tenant"), state=params.get("state"))}
+        if not isinstance(job_id, str):
+            raise protocol.ProtocolError(
+                "bad-request", f"{op} needs params.job_id (a string)")
+        if op == "status":
+            return {"job": self.manager.status(job_id)}
+        if op == "result":
+            return {"job": self.manager.result(job_id)}
+        if op == "cancel":
+            return {"job": self.manager.cancel(job_id)}
+        if op == "tail":
+            return self.manager.tail_info(job_id)
+        raise protocol.ProtocolError("unknown-op", f"unhandled op {op!r}")

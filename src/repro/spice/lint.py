@@ -15,6 +15,13 @@ severities, and device-level checks.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.analysis.erc import assert_clean, lint_circuit, run_erc
+
+warnings.warn(
+    "repro.spice.lint is deprecated; import lint_circuit/assert_clean/"
+    "run_erc from repro.analysis.erc instead",
+    DeprecationWarning, stacklevel=2)
 
 __all__ = ["lint_circuit", "assert_clean", "run_erc"]

@@ -1,0 +1,51 @@
+"""The serve subsystem must stay clean under the repo's own analyzers.
+
+This is the same battery the CI lint gate runs (codelint + flow passes +
+lockset analysis) pinned to ``src/repro/serve``, so a regression shows
+up as a focused test failure here before it trips the repo-wide
+baseline gate.
+"""
+
+import pathlib
+
+from repro.analysis.codelint import lint_source
+from repro.analysis.concurrency import check_paths as check_concurrency
+from repro.analysis.flow import iter_python_files
+from repro.analysis.locks import check_paths as check_locks
+from repro.analysis.rngflow import check_source as check_rngflow
+
+SERVE = pathlib.Path(__file__).resolve().parents[2] / "src/repro/serve"
+
+
+def render(diags):
+    return "\n".join(d.render() for d in diags)
+
+
+def test_serve_package_exists():
+    assert (SERVE / "jobs.py").exists()
+
+
+def test_codelint_clean():
+    diags = []
+    for path in iter_python_files([SERVE]):
+        diags.extend(lint_source(path.read_text(encoding="utf-8"),
+                                 str(path)))
+    assert not diags, render(diags)
+
+
+def test_rngflow_clean():
+    diags = []
+    for path in iter_python_files([SERVE]):
+        diags.extend(check_rngflow(path.read_text(encoding="utf-8"),
+                                   str(path)))
+    assert not diags, render(diags)
+
+
+def test_concurrency_clean():
+    diags = check_concurrency([SERVE])
+    assert not diags, render(diags)
+
+
+def test_locks_clean():
+    diags = check_locks([SERVE])
+    assert not diags, render(diags)

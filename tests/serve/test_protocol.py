@@ -1,0 +1,106 @@
+"""Tests for the NDJSON wire protocol (pure framing, no sockets)."""
+
+import json
+
+import pytest
+
+from repro.serve import protocol
+
+
+class TestFraming:
+    def test_encode_is_one_compact_line(self):
+        frame = protocol.encode({"b": 1, "a": {"x": [1, 2]}})
+        assert frame.endswith(b"\n")
+        assert frame.count(b"\n") == 1
+        assert b" " not in frame  # compact separators
+        assert json.loads(frame) == {"a": {"x": [1, 2]}, "b": 1}
+
+    def test_encode_is_deterministic(self):
+        a = protocol.encode({"x": 1, "y": 2})
+        b = protocol.encode({"y": 2, "x": 1})
+        assert a == b
+
+    def test_round_trip(self):
+        doc = protocol.request("status", "req-0007", {"job_id": "job-x"})
+        assert protocol.decode(protocol.encode(doc)) == doc
+
+    def test_decode_accepts_str_and_bytes(self):
+        assert protocol.decode('{"op":"ping"}') == {"op": "ping"}
+        assert protocol.decode(b'{"op":"ping"}') == {"op": "ping"}
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.decode(b"not json\n")
+        assert err.value.code == "bad-request"
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.decode(b"[1,2,3]\n")
+        assert err.value.code == "bad-request"
+
+    def test_decode_rejects_oversized_frame(self):
+        blob = b'"' + b"x" * protocol.MAX_FRAME_BYTES + b'"'
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.decode(blob)
+        assert err.value.code == "bad-request"
+
+
+class TestValidateRequest:
+    def test_well_formed(self):
+        req = protocol.validate_request(
+            {"id": "req-0001", "op": "submit", "params": {"spec": {}}})
+        assert req == {"id": "req-0001", "op": "submit",
+                       "params": {"spec": {}}}
+
+    def test_params_default_to_empty(self):
+        req = protocol.validate_request({"id": "r", "op": "ping"})
+        assert req["params"] == {}
+
+    def test_missing_op(self):
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.validate_request({"id": "r"})
+        assert err.value.code == "bad-request"
+
+    def test_unknown_op(self):
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.validate_request({"id": "r", "op": "explode"})
+        assert err.value.code == "unknown-op"
+        assert "explode" in str(err.value)
+
+    def test_non_string_id(self):
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.validate_request({"id": 7, "op": "ping"})
+        assert err.value.code == "bad-request"
+
+    def test_non_object_params(self):
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.validate_request({"op": "ping", "params": [1]})
+        assert err.value.code == "bad-request"
+
+    def test_every_declared_op_validates(self):
+        for op in protocol.OPS:
+            assert protocol.validate_request({"op": op})["op"] == op
+
+
+class TestReplies:
+    def test_ok_reply(self):
+        reply = protocol.ok_reply("req-1", {"jobs": []})
+        assert reply == {"id": "req-1", "ok": True, "result": {"jobs": []}}
+
+    def test_error_reply_without_diagnostics(self):
+        reply = protocol.error_reply("req-1", "unknown-job", "nope")
+        assert reply["ok"] is False
+        assert reply["error"] == {"code": "unknown-job", "message": "nope"}
+
+    def test_error_reply_with_diagnostics(self):
+        diags = [{"rule": "job.task", "message": "bad"}]
+        reply = protocol.error_reply(None, "invalid-job", "bad spec",
+                                     diagnostics=diags)
+        assert reply["id"] is None
+        assert reply["error"]["diagnostics"] == diags
+
+    def test_error_codes_are_declared(self):
+        for code in ("bad-request", "unknown-op", "invalid-job",
+                     "unknown-job", "not-finished", "shutting-down",
+                     "internal"):
+            assert code in protocol.ERROR_CODES

@@ -1,0 +1,262 @@
+"""End-to-end tests: real MA-Opt jobs over the NDJSON socket protocol.
+
+These exercise the full service stack — JobClient -> JobServer ->
+JobManager -> MAOptimizer -> RunStore — on the synthetic sphere task
+with tiny budgets, including the two durability claims the subsystem
+makes: concurrent clients all complete, and a killed server resumes
+bit-exactly from its checkpoints.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.config import ServeConfig
+from repro.serve import protocol
+from repro.serve.client import JobClient, ServeError, read_endpoint
+from repro.serve.jobs import JobManager, build_config, canonical_spec
+from repro.serve.server import JobServer, endpoint_path
+
+#: Tiny-but-valid MA-Opt job: passes the cfg.* budget cross-checks and
+#: runs in well under a second on the sphere task.
+TINY = {
+    "task": "sphere",
+    "method": "MA-Opt",
+    "n_sims": 4,
+    "n_init": 10,
+    "overrides": {"n_elite": 6, "batch_size": 8, "critic_steps": 5,
+                  "actor_steps": 3},
+}
+
+
+def serve_on(tmp_path, **cfg):
+    cfg.setdefault("max_workers", 2)
+    cfg.setdefault("poll_s", 0.01)
+    manager = JobManager(tmp_path / "serve",
+                         config=ServeConfig(**cfg)).start()
+    server = JobServer(manager).start()
+    return manager, server
+
+
+class TestProtocolOverSocket:
+    def test_ping_and_endpoint_discovery(self, tmp_path):
+        manager, server = serve_on(tmp_path)
+        try:
+            doc = read_endpoint(manager.root)
+            assert doc["port"] == server.port
+            with JobClient.connect(manager.root) as client:
+                pong = client.ping()
+            assert pong["protocol"] == protocol.PROTOCOL_NAME
+            assert pong["version"] == protocol.PROTOCOL_VERSION
+        finally:
+            server.close()
+            manager.close()
+        assert not endpoint_path(manager.root).exists()
+
+    def test_connect_without_server_is_friendly(self, tmp_path):
+        with pytest.raises(ServeError) as err:
+            JobClient.connect(tmp_path / "nowhere")
+        assert err.value.code == "disconnected"
+        assert "ma-opt serve" in str(err.value)
+
+    def test_invalid_spec_returns_diagnostics(self, tmp_path):
+        manager, server = serve_on(tmp_path)
+        try:
+            with JobClient.connect(manager.root) as client:
+                with pytest.raises(ServeError) as err:
+                    client.submit({"task": "resistor", "n_sims": 0})
+            assert err.value.code == "invalid-job"
+            assert {d["rule"] for d in err.value.diagnostics} \
+                >= {"job.task", "job.budget"}
+        finally:
+            server.close()
+            manager.close()
+
+    def test_structured_errors(self, tmp_path):
+        manager, server = serve_on(tmp_path)
+        try:
+            with JobClient.connect(manager.root) as client:
+                with pytest.raises(ServeError) as unknown:
+                    client.status("job-999999")
+                assert unknown.value.code == "unknown-job"
+                job_id = client.submit(dict(TINY))["job_id"]
+                try:
+                    client.result(job_id)
+                except ServeError as exc:
+                    assert exc.code == "not-finished"
+                client.wait(job_id, timeout=60)
+                assert client.result(job_id)["state"] == "finished"
+        finally:
+            server.close()
+            manager.close()
+
+    def test_garbage_line_gets_bad_request_reply(self, tmp_path):
+        manager, server = serve_on(tmp_path)
+        try:
+            with socket.create_connection((server.host, server.port),
+                                          timeout=5) as raw:
+                fh = raw.makefile("rwb")
+                fh.write(b"this is not json\n")
+                fh.flush()
+                reply = protocol.decode(fh.readline())
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == "bad-request"
+        finally:
+            server.close()
+            manager.close()
+
+    def test_pipelined_requests_reply_in_order(self, tmp_path):
+        manager, server = serve_on(tmp_path)
+        try:
+            with socket.create_connection((server.host, server.port),
+                                          timeout=5) as raw:
+                fh = raw.makefile("rwb")
+                for i in range(3):
+                    fh.write(protocol.encode(
+                        protocol.request("ping", f"req-{i}")))
+                fh.flush()
+                ids = [protocol.decode(fh.readline())["id"]
+                       for i in range(3)]
+            assert ids == ["req-0", "req-1", "req-2"]
+        finally:
+            server.close()
+            manager.close()
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_parallel_clients_all_finish(self, tmp_path):
+        manager, server = serve_on(tmp_path, max_workers=2, tenant_cap=2)
+        results = {}
+        failures = []
+
+        def one_client(i):
+            try:
+                with JobClient.connect(manager.root) as client:
+                    spec = dict(TINY, seed=i, tenant=f"t{i % 2}")
+                    job_id = client.submit(spec)["job_id"]
+                    record = client.wait(job_id, timeout=120)
+                    results[i] = record
+            except Exception as exc:  # surface in the main thread
+                failures.append((i, repr(exc)))
+
+        try:
+            threads = [threading.Thread(target=one_client, args=(i,),
+                                        name=f"client-{i}")
+                       for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=180)
+        finally:
+            server.close()
+            manager.close()
+        assert not failures
+        assert len(results) == 4
+        for record in results.values():
+            assert record["state"] == "finished"
+            assert record["summary"]["n_sims"] == TINY["n_sims"]
+            run_dir = manager.store.root / record["run_ids"][-1]
+            manifest = json.loads(
+                (run_dir / "manifest.json").read_text(encoding="utf-8"))
+            assert manifest["status"] == "finished"
+
+    def test_same_spec_is_deterministic(self, tmp_path):
+        manager, server = serve_on(tmp_path, max_workers=1)
+        try:
+            with JobClient.connect(manager.root) as client:
+                a = client.submit(dict(TINY))["job_id"]
+                b = client.submit(dict(TINY))["job_id"]
+                fom_a = client.wait(a, timeout=120)["summary"]["best_fom"]
+                fom_b = client.wait(b, timeout=120)["summary"]["best_fom"]
+        finally:
+            server.close()
+            manager.close()
+        assert fom_a == fom_b
+
+    def test_cancel_mid_run_over_protocol(self, tmp_path):
+        slow = dict(TINY, n_sims=200,
+                    overrides=dict(TINY["overrides"], critic_steps=40))
+        manager, server = serve_on(tmp_path, max_workers=1)
+        try:
+            with JobClient.connect(manager.root) as client:
+                job_id = client.submit(slow)["job_id"]
+                deadline = time.monotonic() + 60
+                while client.status(job_id)["state"] != "running":
+                    assert time.monotonic() < deadline
+                    time.sleep(0.02)
+                info = client.tail_info(job_id)
+                assert info["run_dir"] is not None
+                client.cancel(job_id)
+                record = client.wait(job_id, timeout=120)
+        finally:
+            server.close()
+            manager.close()
+        assert record["state"] == "cancelled"
+        manifest = json.loads(
+            (manager.store.root / record["run_ids"][-1] / "manifest.json")
+            .read_text(encoding="utf-8"))
+        assert manifest["status"] == "cancelled"
+
+    def test_kill_and_resume_is_bit_exact(self, tmp_path):
+        from repro.core.synthetic import ConstrainedSphere
+
+        class SlowSphere(ConstrainedSphere):
+            """Same numerics, slowed so the kill lands mid-run."""
+
+            def simulate(self, u):
+                time.sleep(0.02)
+                return super().simulate(u)
+
+        spec = dict(TINY, n_sims=40)
+        manager = JobManager(
+            tmp_path / "serve",
+            config=ServeConfig(max_workers=1, poll_s=0.01,
+                               checkpoint_every=1),
+            task_factory=lambda s: SlowSphere(d=12, seed=3)).start()
+        server = JobServer(manager).start()
+        with JobClient.connect(manager.root) as client:
+            job_id = client.submit(spec)["job_id"]
+            # wait for the first checkpoint, then kill the service
+            ckpt = manager.checkpoint_path(job_id)
+            deadline = time.monotonic() + 60
+            while not ckpt.exists():
+                assert time.monotonic() < deadline, "no checkpoint yet"
+                time.sleep(0.01)
+        manager.close()  # stops the job at its next round boundary
+        server.close()
+        record = manager.status(job_id)
+        assert record["state"] == "interrupted", \
+            f"job finished before the kill — raise the budget ({record})"
+
+        # restart on the same root: the job continues from its checkpoint
+        fresh = JobManager(manager.root,
+                           config=ServeConfig(max_workers=1, poll_s=0.01,
+                                              checkpoint_every=1))
+        assert fresh.resume() == [job_id]
+        fresh.start()
+        server2 = JobServer(fresh).start()
+        try:
+            with JobClient.connect(fresh.root) as client:
+                final = client.wait(job_id, timeout=300)
+        finally:
+            server2.close()
+            fresh.close()
+        assert final["state"] == "finished"
+        assert final["attempt"] == 2
+        assert final["run_ids"] == [job_id, f"{job_id}-r2"]
+
+        # reference: the same spec run uninterrupted, no service involved
+        from repro.core.ma_opt import MAOptimizer
+        from repro.core.synthetic import ConstrainedSphere
+
+        reference = MAOptimizer(
+            ConstrainedSphere(d=12, seed=3),
+            build_config(canonical_spec(spec))).run(
+                n_sims=spec["n_sims"], n_init=spec["n_init"],
+                method_name=spec["method"])
+        assert final["summary"]["best_fom"] == float(reference.best_fom)
+        assert final["summary"]["n_sims"] == len(reference.records)

@@ -96,3 +96,22 @@ class TestDetections:
         ckt.add_resistor("R1", "a", "b", 1e3)
         with pytest.raises(NetlistError, match="no ground"):
             assert_clean(ckt)
+
+
+class TestDeprecationShim:
+    def test_import_emits_deprecation_warning(self):
+        import importlib
+
+        import repro.spice.lint as shim
+
+        with pytest.warns(DeprecationWarning,
+                          match="repro.analysis.erc"):
+            importlib.reload(shim)
+
+    def test_shim_reexports_match_erc(self):
+        from repro.analysis import erc
+        from repro.spice import lint as shim
+
+        assert shim.lint_circuit is erc.lint_circuit
+        assert shim.assert_clean is erc.assert_clean
+        assert shim.run_erc is erc.run_erc

@@ -23,7 +23,13 @@ own coding invariants, behind one ``ma-opt lint`` command:
   race-detection layer for the threaded obs/parallel code: a static
   lockset/guarded-by analyzer (``flow.lock.*``, ``ma-opt lint
   --locks``) and a runtime race sanitizer (``race.*``, ``ma-opt
-  sanitize <cmd>``).
+  sanitize <cmd>``);
+* :mod:`repro.analysis.taint` / :mod:`repro.analysis.protoconform` —
+  the service-boundary layer for :mod:`repro.serve`: cross-file taint
+  tracking of untrusted job specs into path/exec/budget/format/frame
+  sinks (``flow.taint.*``, ``ma-opt lint --taint``) and protocol /
+  lifecycle conformance against the declared state machine, op table
+  and error codes (``proto.*``, ``ma-opt lint --proto``).
 
 Deployment infrastructure: an incremental content-hash result cache
 (:mod:`repro.analysis.cache`), a committed baseline ratchet that freezes
@@ -87,10 +93,14 @@ from repro.analysis.dynrace import (
 )
 from repro.analysis.locks import LOCK_RULES
 from repro.analysis.locks import check_paths as check_locks
+from repro.analysis.protoconform import PROTO_RULES
+from repro.analysis.protoconform import check_paths as check_protoconform
 from repro.analysis.rngflow import RNG_RULES
 from repro.analysis.rngflow import check_paths as check_rngflow
 from repro.analysis.sarif import render_sarif, to_sarif
 from repro.analysis.shapes import SHAPE_RULES, check_shapes
+from repro.analysis.taint import TAINT_RULES
+from repro.analysis.taint import check_paths as check_taint
 
 __all__ = [
     "AnalysisCache",
@@ -104,6 +114,7 @@ __all__ = [
     "Diagnostic",
     "ERC_RULES",
     "LOCK_RULES",
+    "PROTO_RULES",
     "RACE_RULES",
     "RNG_RULES",
     "RaceSanitizer",
@@ -111,13 +122,16 @@ __all__ = [
     "RuleSet",
     "SHAPE_RULES",
     "Severity",
+    "TAINT_RULES",
     "analyzer_fingerprint",
     "assert_clean",
     "check_concurrency",
     "check_config",
     "check_locks",
+    "check_protoconform",
     "check_rngflow",
     "check_shapes",
+    "check_taint",
     "exit_code",
     "filter_diagnostics",
     "gate_errors",
@@ -141,7 +155,8 @@ __all__ = [
 
 #: Catalogs of every analyzer, in documentation order.
 RULE_SETS = (ERC_RULES, CFG_RULES, CODE_RULES, RNG_RULES, CONC_RULES,
-             LOCK_RULES, RACE_RULES, SHAPE_RULES)
+             LOCK_RULES, RACE_RULES, SHAPE_RULES, TAINT_RULES,
+             PROTO_RULES)
 
 
 def all_rules():

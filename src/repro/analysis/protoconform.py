@@ -1,0 +1,650 @@
+"""Protocol / state-machine conformance checks (rule ids ``proto.*``).
+
+The job service has three artifacts that must stay in lock-step: the
+lifecycle the :class:`~repro.serve.jobs.JobManager` actually implements,
+the op set the server dispatches and the client sends, and the contract
+``docs/service.md`` promises.  Drift between them is invisible to unit
+tests (each side is self-consistent); this whole-unit pass extracts all
+three and diffs them.
+
+**State machine** (``proto.state.*``) — the declared spec is read from
+the analyzed modules themselves: the ``JOB_STATES`` /
+``TERMINAL_JOB_STATES`` tuples and the ``JOB_TRANSITIONS`` edge table
+(module-level literals; :mod:`repro.serve.jobs` declares the real ones).
+Every string literal assigned to or compared with a ``.state``
+attribute / ``["state"]`` key must be a declared state
+(``proto.state.unknown``), and an assignment that is provably guarded by
+``x.state == "<from>"`` must follow a declared edge
+(``proto.state.transition``; leaving a terminal state is the special
+case ``proto.state.terminal`` — no resurrection).  Unguarded
+assignments are not judged: the pass favours zero false positives.
+
+**Op conformance** (``proto.op.*``) — the server-handled set (literals
+compared against an ``op`` parameter, as in ``JobServer._dispatch``),
+the client-sent set (first-argument literals of ``.request("<op>")``
+calls), the declared ``OPS`` tuple, and the op table in the service doc
+are pairwise diffed: ``proto.op.client-only`` / ``proto.op.server-only``
+/ ``proto.op.undeclared`` / ``proto.op.unhandled`` /
+``proto.op.undocumented``.
+
+**Error codes** (``proto.error.mismatch``) — codes constructed via
+``error_reply(_, "<code>", ...)`` / ``ProtocolError("<code>", ...)``
+(including through a straight-line local, resolved with
+:meth:`~repro.analysis.flow.Scope.last_value`) must be declared in
+``ERROR_CODES`` and documented; declared-but-never-constructed codes
+are a warning.  Client-local transport codes (``"disconnected"``,
+``"timeout"``) are deliberately out of scope — only server-side
+construction sites are collected.
+
+Each check only runs when its inputs were actually found in the unit
+(no declarations -> no findings), so the pass is quiet on code that
+does not implement a protocol.  Suppression uses the shared
+``# repro: ignore[rule-id]`` convention.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.codelint import _suppressed, _suppressions
+from repro.analysis.diagnostics import Diagnostic, RuleSet, Severity
+from repro.analysis.flow import (
+    ModuleModel,
+    Scope,
+    build_module,
+    dotted_name,
+    iter_python_files,
+)
+
+PROTO_RULES = RuleSet()
+PROTO_RULES.add("proto.state.unknown", Severity.ERROR,
+                "state literal is not in the declared JOB_STATES set")
+PROTO_RULES.add("proto.state.transition", Severity.ERROR,
+                "state assignment follows an edge missing from the "
+                "declared JOB_TRANSITIONS table")
+PROTO_RULES.add("proto.state.terminal", Severity.ERROR,
+                "transition out of a terminal state (terminal states "
+                "must not be resurrected)")
+PROTO_RULES.add("proto.op.client-only", Severity.ERROR,
+                "op the client sends but no server dispatch handles")
+PROTO_RULES.add("proto.op.server-only", Severity.ERROR,
+                "op the server dispatches but no client method sends")
+PROTO_RULES.add("proto.op.undeclared", Severity.ERROR,
+                "op implemented on either side but missing from the "
+                "declared OPS tuple")
+PROTO_RULES.add("proto.op.unhandled", Severity.ERROR,
+                "op declared in OPS but not handled by any server "
+                "dispatch")
+PROTO_RULES.add("proto.op.undocumented", Severity.ERROR,
+                "op set drifted from the service doc's op table")
+PROTO_RULES.add("proto.error.mismatch", Severity.ERROR,
+                "error-code sets drifted (constructed vs declared "
+                "ERROR_CODES vs documented)")
+
+#: Default location of the service contract document.
+SERVICE_DOC = "docs/service.md"
+
+_DECL_NAMES = ("JOB_STATES", "TERMINAL_JOB_STATES", "JOB_TRANSITIONS")
+_SERVE_IMPORT_RE = re.compile(r"(?:from|import)\s+[\w.]*serve")
+
+
+@dataclass
+class _Decl:
+    """The declared protocol, harvested from module-level literals."""
+
+    states: set[str] = field(default_factory=set)
+    terminal: set[str] = field(default_factory=set)
+    transitions: set[tuple[str, str]] = field(default_factory=set)
+    ops: set[str] = field(default_factory=set)
+    error_codes: set[str] = field(default_factory=set)
+    states_at: tuple[str, int] | None = None
+    ops_at: tuple[str, int] | None = None
+    codes_at: tuple[str, int] | None = None
+
+
+def _str_elts(node: ast.expr) -> list[str]:
+    """String constants of a tuple/list literal (else empty)."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return []
+    return [e.value for e in node.elts
+            if isinstance(e, ast.Constant) and isinstance(e.value, str)]
+
+
+def _pair_elts(node: ast.expr) -> list[tuple[str, str]]:
+    """(str, str) pairs of a tuple-of-2-tuples literal (else empty)."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return []
+    out: list[tuple[str, str]] = []
+    for elt in node.elts:
+        pair = _str_elts(elt)
+        if len(pair) == 2:
+            out.append((pair[0], pair[1]))
+    return out
+
+
+def harvest_declarations(modules: list[ModuleModel]) -> _Decl:
+    """Collect the declared spec from module-level assignments."""
+    decl = _Decl()
+    for mod in modules:
+        for stmt in mod.tree.body:
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            if name == "JOB_STATES":
+                decl.states.update(_str_elts(stmt.value))
+                decl.states_at = (mod.path, stmt.lineno)
+            elif name == "TERMINAL_JOB_STATES":
+                decl.terminal.update(_str_elts(stmt.value))
+            elif name == "JOB_TRANSITIONS":
+                decl.transitions.update(_pair_elts(stmt.value))
+            elif name == "OPS":
+                decl.ops.update(_str_elts(stmt.value))
+                decl.ops_at = (mod.path, stmt.lineno)
+            elif name == "ERROR_CODES":
+                decl.error_codes.update(_str_elts(stmt.value))
+                decl.codes_at = (mod.path, stmt.lineno)
+    return decl
+
+
+# -- state-machine extraction -------------------------------------------------
+
+def _state_base(expr: ast.expr) -> str | None:
+    """Dotted base when ``expr`` is ``<base>.state`` or
+    ``<base>["state"]`` (else None)."""
+    if isinstance(expr, ast.Attribute) and expr.attr == "state":
+        return dotted_name(expr.value) or "<expr>"
+    if (isinstance(expr, ast.Subscript)
+            and isinstance(expr.slice, ast.Constant)
+            and expr.slice.value == "state"):
+        return dotted_name(expr.value) or "<expr>"
+    return None
+
+
+def _literal_leaves(expr: ast.expr | None) -> list[str]:
+    """String-constant leaves of an expression: the literal, both arms
+    of a conditional, the operands of and/or."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.Constant):
+        return [expr.value] if isinstance(expr.value, str) else []
+    if isinstance(expr, ast.IfExp):
+        return _literal_leaves(expr.body) + _literal_leaves(expr.orelse)
+    if isinstance(expr, ast.BoolOp):
+        out: list[str] = []
+        for value in expr.values:
+            out.extend(_literal_leaves(value))
+        return out
+    return []
+
+
+@dataclass(frozen=True)
+class StateUse:
+    """One state literal observed in the implementation."""
+
+    value: str
+    lineno: int
+    kind: str                 # 'assign' | 'compare' | 'default'
+    guard: str | None = None  # proven prior state for assignments
+
+
+def _guard_from_test(test: ast.expr) -> tuple[str, str] | None:
+    """(base, state) when ``test`` is ``<base>.state == "<lit>"``."""
+    if not (isinstance(test, ast.Compare) and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)):
+        return None
+    left, right = test.left, test.comparators[0]
+    if isinstance(left, ast.Constant):
+        left, right = right, left
+    base = _state_base(left)
+    if base is None or not isinstance(right, ast.Constant) \
+            or not isinstance(right.value, str):
+        return None
+    return base, right.value
+
+
+class _StateScan:
+    """Collect state literals (with proven guards) from one module."""
+
+    def __init__(self) -> None:
+        self.uses: list[StateUse] = []
+
+    def scan_module(self, mod: ModuleModel) -> list[StateUse]:
+        self.uses = []
+        self._block(mod.tree.body, {}, in_class=False)
+        return self.uses
+
+    # -- statements ----------------------------------------------------------
+    def _block(self, stmts: list[ast.stmt], guards: dict[str, str],
+               in_class: bool) -> None:
+        for stmt in stmts:
+            self._stmt(stmt, guards, in_class)
+
+    def _stmt(self, s: ast.stmt, guards: dict[str, str],
+              in_class: bool) -> None:
+        # Compound statements recurse into their bodies below; scan only
+        # their header expressions here so each Compare is seen once.
+        headers: list[ast.expr] = []
+        if isinstance(s, (ast.If, ast.While)):
+            headers = [s.test]
+        elif isinstance(s, (ast.For, ast.AsyncFor)):
+            headers = [s.iter]
+        elif isinstance(s, (ast.With, ast.AsyncWith)):
+            headers = [item.context_expr for item in s.items]
+        elif isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef,
+                            ast.ClassDef)) \
+                or isinstance(s, ast.Try) \
+                or (hasattr(ast, "TryStar")
+                    and isinstance(s, ast.TryStar)):
+            headers = []
+        else:
+            headers = [s]  # type: ignore[list-item]
+        for header in headers:
+            for expr in ast.walk(header):
+                if isinstance(expr, ast.Compare):
+                    self._compare(expr)
+        if isinstance(s, ast.If):
+            guard = _guard_from_test(s.test)
+            body_guards = dict(guards)
+            if guard is not None:
+                body_guards[guard[0]] = guard[1]
+            self._block(s.body, body_guards, in_class)
+            self._block(s.orelse, guards, in_class)
+        elif isinstance(s, ast.ClassDef):
+            self._block(s.body, {}, in_class=True)
+        elif isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._block(s.body, {}, in_class=False)
+        elif isinstance(s, (ast.For, ast.AsyncFor, ast.While)):
+            self._block(s.body, guards, in_class)
+            self._block(s.orelse, guards, in_class)
+        elif isinstance(s, (ast.With, ast.AsyncWith)):
+            self._block(s.body, guards, in_class)
+        elif isinstance(s, ast.Try) or (hasattr(ast, "TryStar")
+                                        and isinstance(s, ast.TryStar)):
+            self._block(s.body, guards, in_class)
+            for handler in s.handlers:
+                self._block(handler.body, guards, in_class)
+            self._block(s.orelse, guards, in_class)
+            self._block(s.finalbody, guards, in_class)
+        elif isinstance(s, ast.Assign):
+            for target in s.targets:
+                self._assign(target, s.value, s.lineno, guards)
+        elif isinstance(s, ast.AnnAssign) and s.value is not None:
+            self._assign(s.target, s.value, s.lineno, guards)
+            if in_class and isinstance(s.target, ast.Name) \
+                    and s.target.id == "state":
+                for value in _literal_leaves(s.value):
+                    self.uses.append(StateUse(value, s.lineno, "default"))
+
+    def _assign(self, target: ast.expr, value: ast.expr, lineno: int,
+                guards: dict[str, str]) -> None:
+        base = _state_base(target)
+        if base is None:
+            return
+        for literal in _literal_leaves(value):
+            self.uses.append(StateUse(literal, lineno, "assign",
+                                      guard=guards.get(base)))
+
+    # -- comparisons ---------------------------------------------------------
+    def _compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        if not any(_state_base(op) is not None for op in operands):
+            return
+        for op in operands:
+            if _state_base(op) is not None:
+                continue
+            if isinstance(op, ast.Constant) and isinstance(op.value, str):
+                self.uses.append(StateUse(op.value, node.lineno,
+                                          "compare"))
+            elif isinstance(op, (ast.Tuple, ast.List, ast.Set)):
+                for value in _str_elts(op):
+                    self.uses.append(StateUse(value, node.lineno,
+                                              "compare"))
+
+
+def _scans_states(mod: ModuleModel) -> bool:
+    """Whether a module's state literals should be held to the declared
+    lifecycle: it references the declarations or imports the serve
+    package (job records travel through both)."""
+    if any(name in mod.source for name in _DECL_NAMES):
+        return True
+    return bool(_SERVE_IMPORT_RE.search(mod.source))
+
+
+# -- op / error-code extraction -----------------------------------------------
+
+@dataclass(frozen=True)
+class OpUse:
+    op: str
+    path: str
+    lineno: int
+
+
+def server_handled_ops(modules: list[ModuleModel]) -> list[OpUse]:
+    """Literals compared against an ``op`` parameter (the dispatch)."""
+    out: list[OpUse] = []
+    for mod in modules:
+        for scope in mod.functions():
+            if "op" not in scope.params:
+                continue
+            for node in ast.walk(scope.node):
+                if not isinstance(node, ast.Compare):
+                    continue
+                operands = [node.left] + list(node.comparators)
+                if not any(isinstance(o, ast.Name) and o.id == "op"
+                           for o in operands):
+                    continue
+                for o in operands:
+                    if isinstance(o, ast.Constant) \
+                            and isinstance(o.value, str):
+                        out.append(OpUse(o.value, mod.path, node.lineno))
+                    elif isinstance(o, (ast.Tuple, ast.List, ast.Set)):
+                        for value in _str_elts(o):
+                            out.append(OpUse(value, mod.path,
+                                             node.lineno))
+    return out
+
+
+def client_sent_ops(modules: list[ModuleModel]) -> list[OpUse]:
+    """First-argument literals of ``.request("<op>", ...)`` calls."""
+    out: list[OpUse] = []
+    for mod in modules:
+        for scope in mod.scopes:
+            for site in scope.calls:
+                node = site.node
+                if not (isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "request"):
+                    continue
+                if node.args and isinstance(node.args[0], ast.Constant) \
+                        and isinstance(node.args[0].value, str):
+                    out.append(OpUse(node.args[0].value, mod.path,
+                                     site.lineno))
+    return out
+
+
+def constructed_error_codes(modules: list[ModuleModel]) -> list[OpUse]:
+    """Code literals at ``error_reply``/``ProtocolError`` construction
+    sites; a straight-line local resolves through
+    :meth:`Scope.last_value` (so conditional codes are seen too)."""
+    out: list[OpUse] = []
+
+    def literals(scope: Scope, expr: ast.expr, lineno: int) -> list[str]:
+        if isinstance(expr, ast.Name):
+            expr = scope.last_value(expr.id, before_line=lineno)
+            if expr is None:
+                return []
+        return _literal_leaves(expr)
+
+    for mod in modules:
+        for scope in mod.scopes:
+            for site in scope.calls:
+                last = site.callee.split(".")[-1] if site.callee else ""
+                arg: ast.expr | None = None
+                if last == "error_reply" and len(site.node.args) >= 2:
+                    arg = site.node.args[1]
+                elif last == "ProtocolError" and site.node.args:
+                    arg = site.node.args[0]
+                if arg is None:
+                    continue
+                for value in literals(scope, arg, site.lineno):
+                    out.append(OpUse(value, mod.path, site.lineno))
+    return out
+
+
+# -- the service doc ----------------------------------------------------------
+
+_DOC_CELL_RE = re.compile(r"`([^`]+)`")
+
+
+def doc_tables(text: str) -> tuple[dict[str, int], dict[str, int]]:
+    """(ops, error codes) promised by a markdown contract doc.
+
+    A table whose first header cell is ``op`` (resp. ``code``)
+    contributes the backticked first-column entry of each row; values
+    map to their line numbers.
+    """
+    ops: dict[str, int] = {}
+    codes: dict[str, int] = {}
+    current: dict[str, int] | None = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            current = None
+            continue
+        cells = [c.strip() for c in stripped.strip("|").split("|")]
+        first = cells[0] if cells else ""
+        if first == "op":
+            current = ops
+            continue
+        if first == "code":
+            current = codes
+            continue
+        if current is None or not first or set(first) <= set("-: "):
+            continue
+        m = _DOC_CELL_RE.match(first)
+        if m:
+            current.setdefault(m.group(1), lineno)
+    return ops, codes
+
+
+# -- the pass -----------------------------------------------------------------
+
+def check_modules(modules: list[ModuleModel], doc_text: str | None = None,
+                  doc_path: str = SERVICE_DOC) -> list[Diagnostic]:
+    """Run every ``proto.*`` rule over a set of parsed modules as one
+    unit, optionally against a markdown contract doc."""
+    decl = harvest_declarations(modules)
+    findings: list[tuple[ModuleModel | None, int, Diagnostic]] = []
+
+    def emit(mod: ModuleModel | None, location: str, lineno: int,
+             rule: str, message: str, fix: str = "",
+             severity: Severity | None = None) -> None:
+        findings.append((mod, lineno, PROTO_RULES.diag(
+            rule, message, location=location, fix=fix,
+            severity=severity)))
+
+    def emit_at(at: tuple[str, int] | None, rule: str, message: str,
+                fix: str = "", severity: Severity | None = None) -> None:
+        path, lineno = at if at is not None else ("<unit>", 0)
+        mod = next((m for m in modules if m.path == path), None)
+        emit(mod, f"{path}:{lineno}", lineno, rule, message, fix=fix,
+             severity=severity)
+
+    # -- lifecycle ----------------------------------------------------------
+    if decl.states:
+        scan = _StateScan()
+        for mod in modules:
+            if not _scans_states(mod):
+                continue
+            for use in scan.scan_module(mod):
+                loc = f"{mod.path}:{use.lineno}"
+                if use.value not in decl.states:
+                    emit(mod, loc, use.lineno, "proto.state.unknown",
+                         f"state literal {use.value!r} is not one of "
+                         f"the declared JOB_STATES "
+                         f"({', '.join(sorted(decl.states))})",
+                         fix="fix the typo or declare the state")
+                    continue
+                if use.kind != "assign" or use.guard is None \
+                        or not decl.transitions:
+                    continue
+                edge = (use.guard, use.value)
+                if edge in decl.transitions or use.guard == use.value:
+                    continue
+                if use.guard in decl.terminal:
+                    emit(mod, loc, use.lineno, "proto.state.terminal",
+                         f"transition {use.guard!r} -> {use.value!r} "
+                         f"resurrects a terminal state",
+                         fix="terminal states must not change; create "
+                             "a new job instead")
+                else:
+                    emit(mod, loc, use.lineno, "proto.state.transition",
+                         f"transition {use.guard!r} -> {use.value!r} is "
+                         f"not in the declared JOB_TRANSITIONS table",
+                         fix="add the edge to JOB_TRANSITIONS or fix "
+                             "the assignment")
+
+    # -- ops ----------------------------------------------------------------
+    handled = server_handled_ops(modules)
+    sent = client_sent_ops(modules)
+    handled_set = {u.op for u in handled}
+    sent_set = {u.op for u in sent}
+
+    def first(uses: list[OpUse], op: str) -> OpUse:
+        return next(u for u in uses if u.op == op)
+
+    if handled_set and sent_set:
+        for op in sorted(sent_set - handled_set):
+            use = first(sent, op)
+            emit_at((use.path, use.lineno), "proto.op.client-only",
+                    f"client sends op {op!r} but no server dispatch "
+                    f"handles it",
+                    fix="add a dispatch branch (and document the op) "
+                        "or drop the client method")
+        for op in sorted(handled_set - sent_set):
+            use = first(handled, op)
+            emit_at((use.path, use.lineno), "proto.op.server-only",
+                    f"server handles op {op!r} but no client method "
+                    f"sends it",
+                    fix="add the client method or retire the dispatch "
+                        "branch")
+    if decl.ops:
+        for op in sorted((handled_set | sent_set) - decl.ops):
+            uses = [u for u in handled + sent if u.op == op]
+            emit_at((uses[0].path, uses[0].lineno), "proto.op.undeclared",
+                    f"op {op!r} is implemented but missing from the "
+                    f"declared OPS tuple",
+                    fix="add it to OPS (validate_request rejects "
+                        "undeclared ops at runtime)")
+        if handled_set:
+            for op in sorted(decl.ops - handled_set):
+                emit_at(decl.ops_at, "proto.op.unhandled",
+                        f"op {op!r} is declared in OPS but no server "
+                        f"dispatch handles it",
+                        fix="implement the dispatch branch or remove "
+                            "the op from OPS")
+
+    # -- error codes --------------------------------------------------------
+    used = constructed_error_codes(modules)
+    used_set = {u.op for u in used}
+    if decl.error_codes:
+        for code in sorted(used_set - decl.error_codes):
+            use = first(used, code)
+            emit_at((use.path, use.lineno), "proto.error.mismatch",
+                    f"error code {code!r} is constructed but missing "
+                    f"from the declared ERROR_CODES tuple",
+                    fix="declare the code (clients branch on it)")
+        if used_set:
+            for code in sorted(decl.error_codes - used_set):
+                emit_at(decl.codes_at, "proto.error.mismatch",
+                        f"error code {code!r} is declared but never "
+                        f"constructed by the server",
+                        severity=Severity.WARNING,
+                        fix="retire the code or wire up the error path")
+
+    # -- the contract doc ---------------------------------------------------
+    if doc_text is not None:
+        doc_ops, doc_codes = doc_tables(doc_text)
+        implemented_ops = decl.ops | handled_set
+        if doc_ops and implemented_ops:
+            for op in sorted(implemented_ops - set(doc_ops)):
+                emit_at(decl.ops_at or
+                        ((first(handled, op).path, first(handled, op)
+                          .lineno) if op in handled_set else None),
+                        "proto.op.undocumented",
+                        f"op {op!r} is implemented but missing from "
+                        f"the op table in {doc_path}",
+                        fix="document the op (the doc is the contract)")
+            for op in sorted(set(doc_ops) - implemented_ops):
+                emit(None, f"{doc_path}:{doc_ops[op]}", 0,
+                     "proto.op.undocumented",
+                     f"op {op!r} is documented in {doc_path} but not "
+                     f"implemented",
+                     fix="drop the stale row or implement the op")
+        declared_codes = decl.error_codes
+        if doc_codes and declared_codes:
+            for code in sorted(declared_codes - set(doc_codes)):
+                emit_at(decl.codes_at, "proto.error.mismatch",
+                        f"error code {code!r} is declared but missing "
+                        f"from the code table in {doc_path}",
+                        fix="document the code")
+            for code in sorted(set(doc_codes) - declared_codes):
+                emit(None, f"{doc_path}:{doc_codes[code]}", 0,
+                     "proto.error.mismatch",
+                     f"error code {code!r} is documented in {doc_path} "
+                     f"but not declared in ERROR_CODES",
+                     fix="drop the stale row or declare the code")
+
+    # -- per-line suppressions ----------------------------------------------
+    out: list[Diagnostic] = []
+    for mod, lineno, diag in findings:
+        if mod is not None:
+            suppressions = _suppressions(mod.source)
+            if _suppressed(diag, lineno, suppressions):
+                continue
+        out.append(diag)
+    return out
+
+
+def check_source(source: str, path: str = "<string>",
+                 doc_text: str | None = None) -> list[Diagnostic]:
+    """Run the conformance pass over one module's source text."""
+    try:
+        modules = [build_module(source, path=path)]
+    except SyntaxError as exc:
+        return [Diagnostic(rule="code.syntax", severity=Severity.ERROR,
+                           message=f"syntax error: {exc.msg}",
+                           location=f"{path}:{exc.lineno or 0}")]
+    return check_modules(modules, doc_text=doc_text)
+
+
+def check_paths(paths, doc: str | pathlib.Path | None = None
+                ) -> list[Diagnostic]:
+    """Run the conformance pass over files/directories as one unit.
+
+    ``doc`` is the markdown contract to cross-check (defaults to
+    :data:`SERVICE_DOC` when that file exists under the current
+    directory; pass a path to force it, or a nonexistent one to skip).
+    """
+    if doc is None and pathlib.Path(SERVICE_DOC).is_file():
+        doc = SERVICE_DOC
+    doc_text: str | None = None
+    doc_path = SERVICE_DOC
+    if doc is not None and pathlib.Path(doc).is_file():
+        doc_text = pathlib.Path(doc).read_text(encoding="utf-8")
+        doc_path = str(doc)
+    modules: list[ModuleModel] = []
+    diags: list[Diagnostic] = []
+    for f in iter_python_files(paths):
+        try:
+            modules.append(build_module(
+                f.read_text(encoding="utf-8"), path=str(f)))
+        except SyntaxError as exc:
+            diags.append(Diagnostic(
+                rule="code.syntax", severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+                location=f"{f}:{exc.lineno or 0}"))
+    diags.extend(check_modules(modules, doc_text=doc_text,
+                               doc_path=doc_path))
+    return diags
+
+
+__all__ = [
+    "PROTO_RULES",
+    "SERVICE_DOC",
+    "OpUse",
+    "StateUse",
+    "check_modules",
+    "check_paths",
+    "check_source",
+    "client_sent_ops",
+    "constructed_error_codes",
+    "doc_tables",
+    "harvest_declarations",
+    "server_handled_ops",
+]

@@ -1,0 +1,730 @@
+"""Whole-unit taint tracking for the service trust boundary
+(rule ids ``flow.taint.*``).
+
+PR 8 put a socket in front of the optimizer: client-supplied job specs
+now flow from :func:`repro.serve.protocol.decode` into schedulers,
+checkpoint paths and budget arithmetic.  This pass polices that boundary
+mechanically:
+
+* **sources** — values returned by ``decode`` / ``validate_request`` /
+  network reads, and ``spec`` parameters inside the job-spec modules
+  (``serve/jobs.py``, ``serve/protocol.py``; any module can opt in with
+  a ``# repro: taint-module`` comment);
+* **propagation** — assignments, attribute/subscript access on tainted
+  bases, f-strings/concatenation, container literals, and calls: method
+  results on tainted receivers stay tainted, and taint crosses file
+  boundaries through the best-effort
+  :class:`~repro.analysis.flow.CallGraph` via per-function summaries
+  (tainted parameters in, tainted returns out) iterated to a fixpoint;
+* **sanitizers** — a value returned by (or passed through a
+  statement-level call to) ``validate_job`` / ``canonical_*`` /
+  ``sanitize_*`` / ``escape_*`` / ``safe_*`` / ``validate_*`` is clean,
+  and a ``# repro: sanitized[rule-id]`` comment vouches for one line;
+* **sinks** — filesystem path construction (``flow.taint.path``),
+  ``exec``/``eval``/``subprocess`` (``flow.taint.exec``),
+  ``float()``/``int()`` budget coercion that bypasses the ``job.*``
+  RuleSet (``flow.taint.budget``), format-string injection into raw
+  frame writes (``flow.taint.format`` — going through
+  ``protocol.encode`` is the sanctioned, escaping path), and unbounded
+  reads from a network stream (``flow.taint.frame-size`` — the frame
+  cap must ride on every ``readline``/``read``).
+
+Like every flow pass in this repo the analysis is a heuristic linter,
+not a verifier: it favours zero false positives (unresolvable receivers
+and ambiguous callees stay silent) over completeness.  Suppression uses
+the shared ``# repro: ignore[rule-id]`` convention.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.codelint import _suppressed, _suppressions
+from repro.analysis.diagnostics import Diagnostic, RuleSet, Severity
+from repro.analysis.flow import (
+    CallGraph,
+    ModuleModel,
+    Scope,
+    build_module,
+    dotted_name,
+    iter_python_files,
+)
+
+TAINT_RULES = RuleSet()
+TAINT_RULES.add("flow.taint.path", Severity.ERROR,
+                "untrusted value reaches filesystem path construction "
+                "without a canonicalizer")
+TAINT_RULES.add("flow.taint.exec", Severity.ERROR,
+                "untrusted value reaches exec/eval/subprocess")
+TAINT_RULES.add("flow.taint.budget", Severity.ERROR,
+                "untrusted value coerced with float()/int() bypassing "
+                "the job.* validation rules")
+TAINT_RULES.add("flow.taint.format", Severity.ERROR,
+                "untrusted value interpolated into a raw wire frame "
+                "(bypasses protocol.encode's JSON escaping)")
+TAINT_RULES.add("flow.taint.frame-size", Severity.ERROR,
+                "unbounded read from a network stream (no frame-size "
+                "cap argument)")
+
+#: Calls whose result is untrusted wherever they appear.  ``decode`` is
+#: special-cased in :func:`_is_source_call`: ``protocol.decode(...)``
+#: counts everywhere, a bare ``.decode()`` method only inside the
+#: trust-boundary modules (bytes read from the repo's own files are not
+#: client input).
+SOURCE_CALLS = frozenset({"decode", "validate_request", "recv",
+                          "recv_into"})
+
+
+def _is_source_call(call: ast.Call, in_source_module: bool) -> bool:
+    last = _call_last(call)
+    if last in ("validate_request", "recv", "recv_into"):
+        return True
+    if last == "decode":
+        callee = dotted_name(call.func)
+        if callee == "decode" or callee.endswith("protocol.decode"):
+            return True
+        return in_source_module and bool(callee)
+    return False
+
+#: Parameter names treated as untrusted inside the job-spec modules.
+SOURCE_PARAM_NAMES = frozenset({"spec"})
+
+#: ``serve/`` modules whose spec-shaped parameters are sources.
+_SOURCE_FILES = frozenset({"jobs.py", "protocol.py"})
+
+#: Names whose call result (or statement-level application) cleanses.
+_SANITIZER_EXACT = frozenset({"validate_job", "quote"})
+_SANITIZER_PREFIXES = ("canonical", "sanitize", "escape", "safe_",
+                      "validate_")
+
+#: Stream constructors: a name bound to one of these is a network stream
+#: for the frame-size rule.
+_STREAM_CTORS = frozenset({"makefile", "create_connection"})
+
+_TAINT_MODULE_RE = re.compile(r"#\s*repro:\s*taint-module\b")
+_SANITIZED_RE = re.compile(r"#\s*repro:\s*sanitized(?:\[([^\]]*)\])?")
+
+_EXEC_BARE = frozenset({"eval", "exec", "compile"})
+_PATH_CTORS = frozenset({"Path", "PurePath", "PurePosixPath",
+                         "PureWindowsPath"})
+_PATHY_HINTS = ("dir", "path", "root", "folder", "dest")
+
+
+def _sanitized_lines(source: str) -> dict[int, tuple[str, ...]]:
+    """Line -> rule prefixes vouched for by ``# repro: sanitized[...]``."""
+    out: dict[int, tuple[str, ...]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _SANITIZED_RE.search(line)
+        if not m:
+            continue
+        rules = m.group(1)
+        out[lineno] = tuple(
+            r.strip() for r in rules.split(",") if r.strip()
+        ) if rules else ()
+    return out
+
+
+def is_source_module(mod: ModuleModel) -> bool:
+    """Whether spec-shaped parameters in ``mod`` are taint sources."""
+    parts = pathlib.PurePath(mod.path).parts
+    if "serve" in parts and parts[-1] in _SOURCE_FILES:
+        return True
+    return bool(_TAINT_MODULE_RE.search(mod.source))
+
+
+def _is_sanitizer(last: str) -> bool:
+    if last in SOURCE_CALLS:
+        return False
+    return last in _SANITIZER_EXACT or last.startswith(_SANITIZER_PREFIXES)
+
+
+def _call_last(call: ast.Call) -> str:
+    """Last segment of the callee (works for subscripted receivers)."""
+    callee = dotted_name(call.func)
+    if callee:
+        return callee.split(".")[-1]
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return ""
+
+
+def _pathlike(expr: ast.expr) -> bool:
+    """Whether ``expr`` is visibly a filesystem path (the LHS test for
+    the ``/``-join sink; keeps tainted numeric division out)."""
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Div):
+        return _pathlike(expr.left)
+    if isinstance(expr, ast.Call):
+        return _call_last(expr) in _PATH_CTORS | {"joinpath"}
+    name = dotted_name(expr)
+    if name:
+        last = name.split(".")[-1].lower()
+        return any(hint in last for hint in _PATHY_HINTS)
+    return False
+
+
+@dataclass
+class _Summary:
+    """Interprocedural taint facts for one function, grown monotonically
+    across fixpoint rounds."""
+
+    caller_tainted: set[str] = field(default_factory=set)
+    return_labels: set[str] = field(default_factory=set)
+
+
+class _TaintPass:
+    """One whole-unit analysis: fixpoint over summaries, then emission."""
+
+    def __init__(self, modules: list[ModuleModel]) -> None:
+        self.modules = modules
+        self.graph = CallGraph(modules)
+        self.summaries: dict[int, _Summary] = {}
+        self.findings: list[tuple[ModuleModel, int, Diagnostic]] = []
+        self.changed = False
+        self._emitted: set[tuple[str, str]] = set()
+        self._source_mod = {id(m): is_source_module(m) for m in modules}
+        self._class_streams = {id(m): _class_stream_attrs(m)
+                               for m in modules}
+
+    def summary(self, scope: Scope) -> _Summary:
+        return self.summaries.setdefault(id(scope), _Summary())
+
+    def run(self) -> list[tuple[ModuleModel, int, Diagnostic]]:
+        for _ in range(20):
+            self.changed = False
+            self._sweep(emit=False)
+            if not self.changed:
+                break
+        self._sweep(emit=True)
+        return self.findings
+
+    def _sweep(self, emit: bool) -> None:
+        for mod in self.modules:
+            for scope in mod.scopes:
+                if scope.is_class:
+                    continue
+                _FunctionTaint(self, mod, scope, emit=emit).run()
+
+    def emit(self, mod: ModuleModel, lineno: int, rule: str,
+             message: str, fix: str = "") -> None:
+        key = (rule, f"{mod.path}:{lineno}")
+        if key in self._emitted:
+            return
+        self._emitted.add(key)
+        self.findings.append((mod, lineno, TAINT_RULES.diag(
+            rule, message, location=f"{mod.path}:{lineno}", fix=fix)))
+
+
+def _class_stream_attrs(mod: ModuleModel) -> frozenset[str]:
+    """``self.<attr>`` names any method of the module binds to a stream
+    constructor (so cross-method reads keep their frame-size check)."""
+    out: set[str] = set()
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        if _call_last(node.value) not in _STREAM_CTORS:
+            continue
+        for target in node.targets:
+            name = dotted_name(target)
+            if name.startswith("self."):
+                out.add(name)
+    return frozenset(out)
+
+
+class _FunctionTaint:
+    """Source-order walk of one scope with a label-per-name taint map.
+
+    Labels are the entry parameters a value derives from, plus ``"*"``
+    for values produced by a source call; summaries map labels back to
+    actual arguments at call sites, which is what keeps the pass
+    context-sensitive (a trusted caller of ``build_config`` does not
+    inherit the spec-module taint).
+    """
+
+    def __init__(self, owner: _TaintPass, mod: ModuleModel, scope: Scope,
+                 emit: bool) -> None:
+        self.owner = owner
+        self.mod = mod
+        self.scope = scope
+        self.emitting = emit
+        self.taint: dict[str, frozenset[str]] = {}
+        self.formatted: set[str] = set()
+        self.streams: set[str] = set(owner._class_streams[id(mod)])
+        if not scope.is_module:
+            entry = set(self.owner.summary(scope).caller_tainted)
+            if self.owner._source_mod[id(mod)]:
+                entry.update(p for p in scope.params
+                             if p in SOURCE_PARAM_NAMES)
+            for p in entry:
+                self.taint[p] = frozenset({p})
+
+    # -- driving -------------------------------------------------------------
+    def run(self) -> None:
+        node = self.scope.node
+        if isinstance(node, ast.Lambda):
+            self.scan_expr(node.body)
+            self._note_return(node.body)
+            return
+        body = getattr(node, "body", None)
+        if isinstance(body, list):
+            self.exec_block(body)
+
+    def exec_block(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, s: ast.stmt) -> None:
+        if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef,
+                          ast.ClassDef)):
+            return  # separate scopes, analyzed on their own
+        if isinstance(s, ast.Assign):
+            self.scan_expr(s.value)
+            labels = self.labels(s.value)
+            formatted = self._formatted(s.value)
+            stream = self._is_stream_expr(s.value)
+            for target in s.targets:
+                self._bind(target, labels, formatted, stream, s.value)
+            self._statement_sanitize(s.value)
+        elif isinstance(s, ast.AnnAssign):
+            if s.value is not None:
+                self.scan_expr(s.value)
+                self._bind(s.target, self.labels(s.value),
+                           self._formatted(s.value),
+                           self._is_stream_expr(s.value), s.value)
+                self._statement_sanitize(s.value)
+        elif isinstance(s, ast.AugAssign):
+            self.scan_expr(s.value)
+            if isinstance(s.target, ast.Name):
+                extra = self.labels(s.value)
+                if extra:
+                    old = self.taint.get(s.target.id, frozenset())
+                    self.taint[s.target.id] = old | extra
+                if self._formatted(s.value):
+                    self.formatted.add(s.target.id)
+        elif isinstance(s, ast.Return):
+            if s.value is not None:
+                self.scan_expr(s.value)
+                self._note_return(s.value)
+        elif isinstance(s, ast.Expr):
+            self.scan_expr(s.value)
+            self._statement_sanitize(s.value)
+        elif isinstance(s, (ast.If, ast.While)):
+            self.scan_expr(s.test)
+            self.exec_block(s.body)
+            self.exec_block(s.orelse)
+        elif isinstance(s, (ast.For, ast.AsyncFor)):
+            self.scan_expr(s.iter)
+            self._bind(s.target, self.labels(s.iter), False, False, None)
+            self.exec_block(s.body)
+            self.exec_block(s.orelse)
+        elif isinstance(s, (ast.With, ast.AsyncWith)):
+            for item in s.items:
+                self.scan_expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars,
+                               self.labels(item.context_expr), False,
+                               self._is_stream_expr(item.context_expr),
+                               item.context_expr)
+            self.exec_block(s.body)
+        elif isinstance(s, ast.Try) or (hasattr(ast, "TryStar")
+                                        and isinstance(s, ast.TryStar)):
+            self.exec_block(s.body)
+            for handler in s.handlers:
+                self.exec_block(handler.body)
+            self.exec_block(s.orelse)
+            self.exec_block(s.finalbody)
+        elif isinstance(s, ast.Delete):
+            for target in s.targets:
+                if isinstance(target, ast.Name):
+                    self.taint.pop(target.id, None)
+                    self.formatted.discard(target.id)
+        elif hasattr(ast, "Match") and isinstance(s, ast.Match):
+            self.scan_expr(s.subject)
+            for case in s.cases:
+                self.exec_block(case.body)
+        else:
+            for child in ast.iter_child_nodes(s):
+                if isinstance(child, ast.expr):
+                    self.scan_expr(child)
+
+    # -- binding / summaries -------------------------------------------------
+    def _bind(self, target: ast.expr, labels: frozenset[str],
+              formatted: bool, stream: bool,
+              value: ast.expr | None) -> None:
+        if isinstance(target, ast.Name):
+            if labels:
+                self.taint[target.id] = labels
+            else:
+                self.taint.pop(target.id, None)
+            if formatted:
+                self.formatted.add(target.id)
+            else:
+                self.formatted.discard(target.id)
+            if stream:
+                self.streams.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            # conn, addr = sock.accept(): the first element is the stream
+            for i, elt in enumerate(target.elts):
+                elt_stream = (stream or (
+                    i == 0 and isinstance(value, ast.Call)
+                    and _call_last(value) == "accept"))
+                self._bind(elt, labels, False, elt_stream, None)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, labels, False, False, None)
+        elif isinstance(target, ast.Attribute) and stream:
+            name = dotted_name(target)
+            if name:
+                self.streams.add(name)
+
+    def _note_return(self, value: ast.expr) -> None:
+        labels = self.labels(value)
+        if not labels or self.scope.is_module:
+            return
+        summ = self.owner.summary(self.scope)
+        if not labels <= summ.return_labels:
+            summ.return_labels |= labels
+            self.owner.changed = True
+
+    def _statement_sanitize(self, value: ast.expr) -> None:
+        """``validate_job(spec)`` at statement level vouches for its
+        arguments from then on (branchless heuristic — the repo idiom
+        rejects on errors right after)."""
+        if not isinstance(value, ast.Call):
+            return
+        if not _is_sanitizer(_call_last(value)):
+            return
+        for arg in value.args:
+            if isinstance(arg, ast.Name):
+                self.taint.pop(arg.id, None)
+
+    def _is_stream_expr(self, value: ast.expr | None) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        return _call_last(value) in _STREAM_CTORS
+
+    # -- taint labels --------------------------------------------------------
+    def labels(self, e: ast.expr | None) -> frozenset[str]:
+        if e is None:
+            return frozenset()
+        if isinstance(e, ast.Name):
+            return self.taint.get(e.id, frozenset())
+        if isinstance(e, (ast.Attribute, ast.Subscript)):
+            return self.labels(e.value)
+        if isinstance(e, ast.Call):
+            return self._call_labels(e)
+        if isinstance(e, ast.JoinedStr):
+            out: set[str] = set()
+            for part in e.values:
+                if isinstance(part, ast.FormattedValue):
+                    out |= self.labels(part.value)
+            return frozenset(out)
+        if isinstance(e, ast.FormattedValue):
+            return self.labels(e.value)
+        if isinstance(e, ast.BinOp):
+            return self.labels(e.left) | self.labels(e.right)
+        if isinstance(e, ast.BoolOp):
+            out = set()
+            for v in e.values:
+                out |= self.labels(v)
+            return frozenset(out)
+        if isinstance(e, ast.IfExp):
+            return self.labels(e.body) | self.labels(e.orelse)
+        if isinstance(e, (ast.UnaryOp,)):
+            return self.labels(e.operand)
+        if isinstance(e, ast.Await):
+            return self.labels(e.value)
+        if isinstance(e, ast.Starred):
+            return self.labels(e.value)
+        if isinstance(e, (ast.Tuple, ast.List, ast.Set)):
+            out = set()
+            for elt in e.elts:
+                out |= self.labels(elt)
+            return frozenset(out)
+        if isinstance(e, ast.Dict):
+            out = set()
+            for k in e.keys:
+                if k is not None:
+                    out |= self.labels(k)
+            for v in e.values:
+                out |= self.labels(v)
+            return frozenset(out)
+        if isinstance(e, ast.NamedExpr):
+            labels = self.labels(e.value)
+            self._bind(e.target, labels, self._formatted(e.value),
+                       False, e.value)
+            return labels
+        if isinstance(e, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                          ast.DictComp)):
+            out = set()
+            for gen in e.generators:
+                out |= self.labels(gen.iter)
+            return frozenset(out)
+        return frozenset()  # Constant, Compare, Lambda, ...
+
+    def _call_labels(self, call: ast.Call) -> frozenset[str]:
+        last = _call_last(call)
+        if _is_source_call(call, self.owner._source_mod[id(self.mod)]):
+            return frozenset({"*"})
+        if isinstance(call.func, ast.Attribute):
+            receiver = dotted_name(call.func.value)
+            if (receiver in self.streams
+                    and last in ("read", "readline", "readlines")):
+                return frozenset({"*"})
+        if _is_sanitizer(last):
+            return frozenset()
+        out: set[str] = set()
+        if isinstance(call.func, ast.Attribute):
+            out |= self.labels(call.func.value)  # method on tainted base
+        callee = dotted_name(call.func)
+        target = (self.owner.graph.resolve_callee(self.scope, callee)
+                  if callee else None)
+        if target is not None:
+            out |= self._return_labels(call, target)
+        else:
+            for arg in call.args:
+                out |= self.labels(arg)
+            for kw in call.keywords:
+                out |= self.labels(kw.value)
+        return frozenset(out)
+
+    @staticmethod
+    def _param_map(call: ast.Call, target: Scope
+                   ) -> list[tuple[str, ast.expr]]:
+        """(param name, actual argument) pairs for a resolved call."""
+        params = target.params
+        offset = 1 if params and params[0] in ("self", "cls") else 0
+        out: list[tuple[str, ast.expr]] = []
+        for i, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            idx = i + offset
+            if idx < len(params):
+                out.append((params[idx], arg))
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in params:
+                out.append((kw.arg, kw.value))
+        return out
+
+    def _return_labels(self, call: ast.Call, target: Scope
+                       ) -> frozenset[str]:
+        summ = self.owner.summary(target)
+        out: set[str] = set()
+        if "*" in summ.return_labels:
+            out.add("*")
+        wanted = summ.return_labels - {"*"}
+        if wanted:
+            for param, actual in self._param_map(call, target):
+                if param in wanted:
+                    out |= self.labels(actual)
+        return frozenset(out)
+
+    def _propagate(self, call: ast.Call) -> None:
+        callee = dotted_name(call.func)
+        if not callee:
+            return
+        last = callee.split(".")[-1]
+        if last in SOURCE_CALLS or _is_sanitizer(last):
+            return
+        target = self.owner.graph.resolve_callee(self.scope, callee)
+        if target is None:
+            return
+        summ = self.owner.summary(target)
+        for param, actual in self._param_map(call, target):
+            if self.labels(actual) and param not in summ.caller_tainted:
+                summ.caller_tainted.add(param)
+                self.owner.changed = True
+
+    # -- sinks ---------------------------------------------------------------
+    def scan_expr(self, expr: ast.expr) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self._propagate(node)
+                if self.emitting:
+                    self._check_call_sinks(node)
+            elif (self.emitting and isinstance(node, ast.BinOp)
+                    and isinstance(node.op, ast.Div)):
+                labels = self.labels(node.right)
+                if labels and _pathlike(node.left):
+                    self._sink(node, "flow.taint.path",
+                               f"{self._origin(labels)} joined into a "
+                               f"filesystem path with '/'",
+                               fix="canonicalize the component (or "
+                                   "validate_job the spec) first")
+
+    def _check_call_sinks(self, call: ast.Call) -> None:
+        callee = dotted_name(call.func)
+        last = _call_last(call)
+        parts = callee.split(".") if callee else []
+        arg_labels = frozenset().union(
+            *(self.labels(a) for a in call.args),
+            *(self.labels(kw.value) for kw in call.keywords),
+        ) if (call.args or call.keywords) else frozenset()
+
+        # exec / subprocess ---------------------------------------------------
+        is_exec = (
+            (isinstance(call.func, ast.Name)
+             and call.func.id in _EXEC_BARE)
+            or callee in ("os.system", "os.popen")
+            or (parts[:1] == ["subprocess"])
+            or (parts[:1] == ["os"]
+                and last.startswith(("exec", "spawn")))
+        )
+        if is_exec and arg_labels:
+            self._sink(call, "flow.taint.exec",
+                       f"{self._origin(arg_labels)} reaches "
+                       f"{callee or last}()",
+                       fix="never execute client-derived values; map "
+                           "them through a fixed table")
+            return
+
+        # budget coercion -----------------------------------------------------
+        if (isinstance(call.func, ast.Name)
+                and call.func.id in ("float", "int") and call.args):
+            labels = self.labels(call.args[0])
+            if labels:
+                self._sink(call, "flow.taint.budget",
+                           f"{self._origin(labels)} coerced with "
+                           f"{call.func.id}() before validation",
+                           fix="run validate_job (the job.* rules) "
+                               "before using budget fields")
+
+        # path construction ---------------------------------------------------
+        path_hit = frozenset()
+        if last in _PATH_CTORS or last == "joinpath" \
+                or callee.endswith("path.join") \
+                or last in ("makedirs", "rmtree"):
+            path_hit = arg_labels
+        elif callee in ("open", "io.open", "os.open") and call.args:
+            path_hit = self.labels(call.args[0])
+        elif callee in ("os.remove", "os.unlink", "os.rename",
+                        "os.replace", "os.rmdir") and call.args:
+            path_hit = self.labels(call.args[0])
+        if path_hit:
+            self._sink(call, "flow.taint.path",
+                       f"{self._origin(path_hit)} used to construct a "
+                       f"filesystem path via {callee or last}()",
+                       fix="canonicalize the component (or validate_job "
+                           "the spec) first")
+
+        # raw frame writes ----------------------------------------------------
+        if (isinstance(call.func, ast.Attribute)
+                and last in ("write", "sendall", "send") and call.args
+                and self._formatted(call.args[0])):
+            self._sink(call, "flow.taint.format",
+                       "untrusted value formatted into a raw frame "
+                       "write (string interpolation instead of "
+                       "protocol.encode)",
+                       fix="build a dict and send protocol.encode(doc) "
+                           "so JSON escaping applies")
+
+        # unbounded stream reads ----------------------------------------------
+        if (isinstance(call.func, ast.Attribute)
+                and last in ("read", "readline", "readlines")
+                and not call.args and not call.keywords):
+            receiver = dotted_name(call.func.value)
+            if receiver and receiver in self.streams:
+                self._sink(call, "flow.taint.frame-size",
+                           f"unbounded {last}() on network stream "
+                           f"{receiver!r} — a peer can exhaust memory",
+                           fix="pass a size cap (MAX_FRAME_BYTES + 1) "
+                               "and reject oversized frames")
+
+    def _formatted(self, e: ast.expr) -> bool:
+        if isinstance(e, ast.JoinedStr):
+            return bool(self.labels(e))
+        if isinstance(e, ast.BinOp) and isinstance(e.op, (ast.Add,
+                                                          ast.Mod)):
+            if not self.labels(e):
+                return False
+            return any(self._stringy(side) for side in (e.left, e.right))
+        if isinstance(e, ast.Call) and isinstance(e.func, ast.Attribute):
+            if e.func.attr == "encode":
+                return self._formatted(e.func.value)
+            if e.func.attr == "format":
+                return bool(self.labels(e))
+        if isinstance(e, ast.Name):
+            return e.id in self.formatted
+        return False
+
+    def _stringy(self, e: ast.expr) -> bool:
+        if isinstance(e, ast.Constant):
+            return isinstance(e.value, (str, bytes))
+        if isinstance(e, ast.JoinedStr):
+            return True
+        if isinstance(e, ast.Name):
+            return e.id in self.formatted
+        if isinstance(e, ast.BinOp):
+            return self._stringy(e.left) or self._stringy(e.right)
+        return False
+
+    @staticmethod
+    def _origin(labels: frozenset[str]) -> str:
+        named = sorted(labels - {"*"})
+        if named:
+            return ("untrusted value (from parameter "
+                    + "/".join(repr(n) for n in named) + ")")
+        return "untrusted network input"
+
+    def _sink(self, node: ast.AST, rule: str, message: str,
+              fix: str = "") -> None:
+        self.owner.emit(self.mod, getattr(node, "lineno", 0), rule,
+                        message, fix=fix)
+
+
+def check_modules(modules: list[ModuleModel]) -> list[Diagnostic]:
+    """Run every ``flow.taint.*`` rule over a set of parsed modules as
+    one unit (taint crosses file boundaries through the call graph)."""
+    findings = _TaintPass(modules).run()
+    out: list[Diagnostic] = []
+    for mod, lineno, diag in findings:
+        suppressions = _suppressions(mod.source)
+        sanitized = _sanitized_lines(mod.source)
+        if _suppressed(diag, lineno, suppressions):
+            continue
+        if _suppressed(diag, lineno, sanitized):
+            continue
+        out.append(diag)
+    return out
+
+
+def check_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+    """Run the taint pass over one module's source text."""
+    try:
+        modules = [build_module(source, path=path)]
+    except SyntaxError as exc:
+        return [Diagnostic(rule="code.syntax", severity=Severity.ERROR,
+                           message=f"syntax error: {exc.msg}",
+                           location=f"{path}:{exc.lineno or 0}")]
+    return check_modules(modules)
+
+
+def check_paths(paths) -> list[Diagnostic]:
+    """Run the taint pass over files/directories as one unit."""
+    modules: list[ModuleModel] = []
+    diags: list[Diagnostic] = []
+    for f in iter_python_files(paths):
+        try:
+            modules.append(build_module(
+                f.read_text(encoding="utf-8"), path=str(f)))
+        except SyntaxError as exc:
+            diags.append(Diagnostic(
+                rule="code.syntax", severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+                location=f"{f}:{exc.lineno or 0}"))
+    diags.extend(check_modules(modules))
+    return diags
+
+
+__all__ = [
+    "SOURCE_CALLS",
+    "SOURCE_PARAM_NAMES",
+    "TAINT_RULES",
+    "check_modules",
+    "check_paths",
+    "check_source",
+    "is_source_module",
+]

@@ -11,8 +11,11 @@ Commands
 ``netlist <task>``    print the netlist of a design (mid-space by default).
 ``lint <targets>``    static analysis: ERC over task netlists or deck
                       files, ``--config`` cross-validation, ``--code``
-                      AST lint, ``--locks`` lockset/guarded-by checks.
-                      Exit 1 on error-severity findings.
+                      AST lint, ``--locks`` lockset/guarded-by checks,
+                      ``--taint`` service-boundary taint tracking,
+                      ``--proto`` protocol/state-machine conformance
+                      (``--all`` for everything).  Exit 1 on
+                      error-severity findings.
 ``sanitize <cmd>``    run any other command under the runtime race
                       sanitizer (telemetry channels watched, schedule
                       torture on).  Exit 1 when races are observed.
@@ -482,6 +485,62 @@ def _lint_code_path(path: str, args: argparse.Namespace,
         from repro.analysis.locks import check_paths as locks_check
 
         diags.extend(locks_check([path]))
+    diags.extend(_unit_passes(path, args, cache))
+    return diags
+
+
+def _unit_cached(name: str, rules, run, target: str, cache,
+                 extra: str = "") -> list:
+    """Route a whole-unit pass through the incremental cache.
+
+    Whole-unit results depend on *every* file in the target, so the
+    cache key digests the full ``(path, content-hash)`` list (plus
+    ``extra`` for out-of-tree inputs like the service doc) — any file
+    change reruns the pass, and the per-file soundness caveat in
+    :mod:`repro.analysis.cache` does not apply.
+    """
+    from repro.analysis.cache import analyzer_fingerprint, content_hash
+    from repro.analysis.flow import iter_python_files
+
+    if cache is None:
+        return run()
+    parts = [f"{f}:{content_hash(f.read_text(encoding='utf-8'))}"
+             for f in iter_python_files([target])]
+    if extra:
+        parts.append(extra)
+    return cache.cached_call(
+        analyzer_fingerprint(name, rules), f"<{name}-unit:{target}>",
+        "\n".join(parts), lambda _source, _path: run())
+
+
+def _unit_passes(target: str, args: argparse.Namespace, cache) -> list:
+    """The service-boundary whole-unit passes (``--taint``/``--proto``)
+    over one Python target, through the whole-unit cache."""
+    diags: list = []
+    if args.taint:
+        from repro.analysis.taint import TAINT_RULES
+        from repro.analysis.taint import check_paths as taint_check
+
+        diags.extend(_unit_cached(
+            "taint", TAINT_RULES, lambda: taint_check([target]),
+            target, cache))
+    if args.proto:
+        import os
+
+        from repro.analysis.cache import content_hash
+        from repro.analysis.protoconform import PROTO_RULES, SERVICE_DOC
+        from repro.analysis.protoconform import check_paths as proto_check
+
+        doc = args.proto_doc
+        doc_file = doc if doc is not None else SERVICE_DOC
+        extra = ""
+        if os.path.isfile(doc_file):
+            with open(doc_file, encoding="utf-8") as fh:
+                extra = f"{doc_file}:{content_hash(fh.read())}"
+        diags.extend(_unit_cached(
+            "protoconform", PROTO_RULES,
+            lambda: proto_check([target], doc=doc), target, cache,
+            extra=extra))
     return diags
 
 
@@ -493,16 +552,26 @@ def _lint_groups(args: argparse.Namespace) -> list[tuple[str, list]]:
     from repro.analysis.erc import lint_deck
 
     groups: list[tuple[str, list]] = []
+    cache = None
+    if args.use_cache and (args.code or args.taint or args.proto):
+        from repro.analysis.cache import AnalysisCache
+
+        cache = AnalysisCache.load(args.cache_path)
     for target in args.targets:
         if os.path.exists(target):
-            # With --locks, Python trees/files given positionally are
-            # lockset targets ('ma-opt lint --locks src/repro'); deck
-            # files keep their ERC meaning.
-            if args.locks and (os.path.isdir(target)
-                               or target.endswith(".py")):
-                from repro.analysis.locks import check_paths as locks_check
+            # With --locks/--taint/--proto, Python trees/files given
+            # positionally are whole-unit targets ('ma-opt lint --taint
+            # --proto src/repro'); deck files keep their ERC meaning.
+            if (args.locks or args.taint or args.proto) \
+                    and (os.path.isdir(target) or target.endswith(".py")):
+                diags: list = []
+                if args.locks:
+                    from repro.analysis.locks import \
+                        check_paths as locks_check
 
-                groups.append((target, locks_check([target])))
+                    diags.extend(locks_check([target]))
+                diags.extend(_unit_passes(target, args, cache))
+                groups.append((target, diags))
                 continue
             with open(target, encoding="utf-8") as fh:
                 groups.append((target, lint_deck(fh.read())))
@@ -527,11 +596,6 @@ def _lint_groups(args: argparse.Namespace) -> list[tuple[str, list]]:
                 if args.task else None)
         groups.append(("config", check_config(
             config, task=task, n_sims=args.sims, n_init=args.init)))
-    cache = None
-    if args.code and args.use_cache:
-        from repro.analysis.cache import AnalysisCache
-
-        cache = AnalysisCache.load(args.cache_path)
     for path in args.code:
         if not os.path.exists(path):
             raise SystemExit(f"repro: error: no such path {path!r}")
@@ -566,11 +630,14 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.diagnostics import (exit_code, filter_diagnostics,
                                             render_text, sort_diagnostics)
 
+    if args.all:
+        args.flow = args.shapes = args.locks = True
+        args.taint = args.proto = True
     if not args.targets and not args.config and not args.code \
             and not args.shapes:
         print("repro: error: nothing to lint — give task names / deck "
-              "files (or Python paths with --locks), --config, "
-              "--code PATH, or --shapes",
+              "files (or Python paths with --locks/--taint/--proto), "
+              "--config, --code PATH, or --shapes",
               file=sys.stderr)
         return 2
     bad = _unknown_prefixes([*args.select, *args.ignore])
@@ -1076,6 +1143,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the lockset/guarded-by pass (flow.lock.*) "
                         "over --code paths and over Python files or "
                         "directories given as positional targets")
+    p.add_argument("--taint", action="store_true",
+                   help="run the service-boundary taint pass "
+                        "(flow.taint.*: untrusted job specs reaching "
+                        "path/exec/budget/format/frame sinks) over "
+                        "--code paths and positional Python targets")
+    p.add_argument("--proto", action="store_true",
+                   help="run the protocol/state-machine conformance "
+                        "pass (proto.*: job lifecycle vs "
+                        "JOB_TRANSITIONS, client/server/doc op drift) "
+                        "over --code paths and positional Python "
+                        "targets")
+    p.add_argument("--proto-doc", metavar="PATH", default=None,
+                   help="markdown contract the --proto pass cross-checks "
+                        "(default: docs/service.md when it exists)")
+    p.add_argument("--all", action="store_true",
+                   help="shorthand: enable every pass "
+                        "(--flow --shapes --locks --taint --proto)")
     p.add_argument("--shapes", action="store_true",
                    help="check the paper's dimensional contracts "
                         "(critic 2d->m+1, actor d->d, N_es bound; "

@@ -31,7 +31,9 @@ __all__ = [
 # -- numpy Generator state ----------------------------------------------------
 def rng_state(rng: np.random.Generator) -> dict[str, Any]:
     """JSON-safe snapshot of a ``Generator``'s bit-generator state."""
-    return rng.bit_generator.state
+    # dict() rather than the raw Mapping: detaches the snapshot from the
+    # live generator and matches the declared (JSON-friendly) type.
+    return dict(rng.bit_generator.state)
 
 
 def set_rng_state(rng: np.random.Generator, state: dict[str, Any]) -> None:

@@ -39,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import json
 import pathlib
+import re
 import threading
 import time
 from dataclasses import dataclass, field
@@ -73,6 +74,29 @@ JOB_STATES = ("queued", "running", "finished", "failed", "cancelled",
 #: re-queues it).
 TERMINAL_JOB_STATES = ("finished", "failed", "cancelled")
 
+#: The declared lifecycle, as ``(from, to)`` edges.  This is the spec the
+#: ``proto.state.*`` conformance pass checks the implementation against:
+#: terminal states have no outgoing edges ("no resurrection"), and
+#: ``running -> queued`` / ``interrupted -> queued`` are the resume
+#: paths (crashed mid-run / parked by a shutdown).
+JOB_TRANSITIONS = (
+    ("queued", "running"),
+    ("queued", "cancelled"),
+    ("running", "finished"),
+    ("running", "failed"),
+    ("running", "cancelled"),
+    ("running", "interrupted"),
+    ("running", "queued"),
+    ("interrupted", "queued"),
+)
+
+#: Tenant names must stay a single safe path component: they key the
+#: per-tenant concurrency cap and run-record metadata today and a
+#: per-tenant directory layout tomorrow, so separators and traversal
+#: (``..``) are rejected at validation time (the ``flow.taint.path``
+#: boundary the taint pass polices).
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
 #: ``should_stop`` reason -> final job state.
 _REASON_STATE = {"cancelled": "cancelled", "shutdown": "interrupted",
                  "timeout": "failed"}
@@ -90,8 +114,9 @@ JOB_RULES.add("job.budget", Severity.ERROR,
 JOB_RULES.add("job.priority", Severity.ERROR,
               "priority must be one of the service's lanes")
 JOB_RULES.add("job.tenant", Severity.ERROR,
-              "tenant must be a non-empty name (it keys the per-tenant "
-              "concurrency cap)")
+              "tenant must be a safe single-path-component name (it "
+              "keys the per-tenant concurrency cap and directory "
+              "layout)")
 JOB_RULES.add("job.timeout", Severity.ERROR,
               "timeout must be a positive number of seconds (or null)")
 JOB_RULES.add("job.overrides", Severity.ERROR,
@@ -192,10 +217,13 @@ def validate_job(doc: Any) -> list[Diagnostic]:
             location="priority",
             fix=f"use one of {', '.join(PRIORITY_LANES)}"))
     tenant = spec["tenant"]
-    if not isinstance(tenant, str) or not tenant.strip():
+    if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
         diags.append(JOB_RULES.diag(
-            "job.tenant", f"tenant {tenant!r} is not a non-empty name",
-            location="tenant"))
+            "job.tenant", f"tenant {tenant!r} is not a safe name "
+            f"(want a letter/digit then [A-Za-z0-9._-], at most 64 "
+            f"chars — it becomes a path component)",
+            location="tenant", fix="use a plain identifier-like tenant "
+            "name"))
     timeout = spec["timeout_s"]
     if timeout is not None and (isinstance(timeout, bool)
                                 or not isinstance(timeout, (int, float))

@@ -1,0 +1,27 @@
+# repro: taint-module
+"""Seeded cross-pass fixture: the SAME handler both leaks an untrusted
+spec field into a filesystem path (flow.taint.path) and resurrects a
+terminal job state (proto.state.terminal).  Both analyzers must fire on
+this file; neither may fire on the clean twin in the tests.
+
+This file is test data, never imported by the package.
+"""
+
+import pathlib
+
+JOB_STATES = ("queued", "running", "finished", "failed")
+TERMINAL_JOB_STATES = ("finished", "failed")
+JOB_TRANSITIONS = (
+    ("queued", "running"),
+    ("running", "finished"),
+    ("running", "failed"),
+)
+
+
+def retry_finished(job, spec):
+    # proto.state.terminal: 'finished' is terminal, no resurrection
+    if job.state == "finished":
+        job.state = "queued"
+    # flow.taint.path: client-controlled tenant becomes a directory name
+    run_dir = pathlib.Path("runs") / spec["tenant"]
+    return run_dir

@@ -227,3 +227,112 @@ class TestSarifOut:
         rule_ids = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
         assert {"flow.rng.no-param", "shape.critic-io",
                 "flow.conc.global-write"} <= rule_ids
+
+
+#: serve-shaped module with one violation per service-boundary gate:
+#: a client-only op, a terminal-state resurrection, and an unsanitized
+#: spec-to-path flow.  Each must fail 'ma-opt lint' on its own.
+GATE_DECLS = """\
+JOB_STATES = ("queued", "running", "finished")
+TERMINAL_JOB_STATES = ("finished",)
+JOB_TRANSITIONS = (("queued", "running"), ("running", "finished"))
+OPS = ("ping",)
+ERROR_CODES = ()
+
+def _dispatch(self, op, params):
+    if op == "ping":
+        return {}
+    raise ValueError(op)
+
+class Client:
+    def ping(self):
+        return self.request("ping")
+"""
+
+
+class TestServiceBoundaryGate:
+    """The acceptance battery: each seeded violation fails the gate."""
+
+    def _tree(self, tmp_path, extra):
+        serve = tmp_path / "serve"
+        serve.mkdir()
+        (serve / "jobs.py").write_text(GATE_DECLS + extra,
+                                       encoding="utf-8")
+        return serve
+
+    def test_clean_tree_passes(self, tmp_path):
+        serve = self._tree(tmp_path, "")
+        assert main(["lint", "--taint", "--proto", str(serve),
+                     "--no-cache", "--proto-doc",
+                     str(tmp_path / "absent.md")]) == 0
+
+    def test_client_only_op_fails_gate(self, tmp_path, capsys):
+        serve = self._tree(tmp_path, (
+            "\nclass Wide(Client):\n"
+            "    def legacy(self):\n"
+            "        return self.request(\"legacy\")\n"))
+        assert main(["lint", "--taint", "--proto", str(serve),
+                     "--no-cache", "--proto-doc",
+                     str(tmp_path / "absent.md")]) == 1
+        assert "proto.op.client-only" in capsys.readouterr().out
+
+    def test_illegal_transition_fails_gate(self, tmp_path, capsys):
+        serve = self._tree(tmp_path, (
+            "\ndef resurrect(job):\n"
+            "    if job.state == \"finished\":\n"
+            "        job.state = \"queued\"\n"))
+        assert main(["lint", "--taint", "--proto", str(serve),
+                     "--no-cache", "--proto-doc",
+                     str(tmp_path / "absent.md")]) == 1
+        assert "proto.state.terminal" in capsys.readouterr().out
+
+    def test_unsanitized_path_flow_fails_gate(self, tmp_path, capsys):
+        serve = self._tree(tmp_path, (
+            "\nimport pathlib\n"
+            "def run_dir(spec, base_dir):\n"
+            "    return base_dir / spec[\"tenant\"]\n"))
+        assert main(["lint", "--taint", "--proto", str(serve),
+                     "--no-cache", "--proto-doc",
+                     str(tmp_path / "absent.md")]) == 1
+        assert "flow.taint.path" in capsys.readouterr().out
+
+    def test_unit_passes_go_through_the_cache(self, tmp_path, capsys):
+        serve = self._tree(tmp_path, "")
+        cache = tmp_path / "cache.json"
+        args = ["lint", "--taint", "--proto", str(serve),
+                "--cache", str(cache), "--proto-doc",
+                str(tmp_path / "absent.md")]
+        assert main(args) == 0
+        assert "0 hit(s), 2 miss(es)" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "2 hit(s), 0 miss(es)" in capsys.readouterr().out
+
+    def test_cache_invalidates_on_any_unit_file_change(self, tmp_path,
+                                                       capsys):
+        serve = self._tree(tmp_path, "")
+        (serve / "extra.py").write_text("x = 1\n", encoding="utf-8")
+        cache = tmp_path / "cache.json"
+        args = ["lint", "--taint", "--proto", str(serve),
+                "--cache", str(cache), "--proto-doc",
+                str(tmp_path / "absent.md")]
+        assert main(args) == 0
+        capsys.readouterr()
+        (serve / "extra.py").write_text("x = 2\n", encoding="utf-8")
+        assert main(args) == 0
+        assert "0 hit(s), 2 miss(es)" in capsys.readouterr().out
+
+    def test_all_shorthand_runs_every_pass(self, tmp_path, capsys):
+        serve = self._tree(tmp_path, (
+            "\ndef resurrect(job):\n"
+            "    if job.state == \"finished\":\n"
+            "        job.state = \"queued\"\n"))
+        assert main(["lint", "--all", str(serve), "--no-cache",
+                     "--proto-doc", str(tmp_path / "absent.md")]) == 1
+        assert "proto.state.terminal" in capsys.readouterr().out
+
+    def test_select_accepts_new_rule_prefixes(self, tmp_path, capsys):
+        serve = self._tree(tmp_path, "")
+        assert main(["lint", "--taint", "--proto", str(serve),
+                     "--no-cache", "--select", "flow.taint",
+                     "--select", "proto", "--proto-doc",
+                     str(tmp_path / "absent.md")]) == 0

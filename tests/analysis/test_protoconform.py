@@ -1,0 +1,262 @@
+"""Tests for the protocol/state-machine conformance pass (proto.*)."""
+
+import pathlib
+import textwrap
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.protoconform import (
+    check_paths,
+    check_source,
+    doc_tables,
+)
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+#: Declarations shared by the state-machine fixtures.
+DECLS = """
+JOB_STATES = ("queued", "running", "finished", "failed")
+TERMINAL_JOB_STATES = ("finished", "failed")
+JOB_TRANSITIONS = (
+    ("queued", "running"),
+    ("running", "finished"),
+    ("running", "failed"),
+)
+"""
+
+
+def check(snippet, doc=None):
+    return check_source(DECLS + textwrap.dedent(snippet),
+                        path="serve/jobs.py", doc_text=doc)
+
+
+def rules(diags):
+    return {d.rule for d in diags}
+
+
+def render(diags):
+    return "\n".join(d.render() for d in diags)
+
+
+class TestStateMachine:
+    def test_unknown_state_literal_fires(self):
+        diags = check("""
+            def mark(job):
+                job.state = "qeued"
+        """)
+        assert rules(diags) == {"proto.state.unknown"}
+
+    def test_unknown_state_in_comparison_fires(self):
+        diags = check("""
+            def is_done(job):
+                return job.state in ("finished", "complete")
+        """)
+        assert rules(diags) == {"proto.state.unknown"}
+
+    def test_terminal_resurrection_fires(self):
+        diags = check("""
+            def retry(job):
+                if job.state == "finished":
+                    job.state = "queued"
+        """)
+        assert rules(diags) == {"proto.state.terminal"}
+
+    def test_undeclared_transition_fires(self):
+        diags = check("""
+            def pause(job):
+                if job.state == "queued":
+                    job.state = "failed"
+        """)
+        assert rules(diags) == {"proto.state.transition"}
+
+    def test_declared_transition_is_clean(self):
+        diags = check("""
+            def start(job):
+                if job.state == "queued":
+                    job.state = "running"
+        """)
+        assert diags == [], render(diags)
+
+    def test_unguarded_assignment_is_not_judged(self):
+        # Without a proven prior state the edge is unknown; the pass
+        # favours zero false positives.
+        diags = check("""
+            def force(job):
+                job.state = "queued"
+        """)
+        assert diags == [], render(diags)
+
+    def test_else_branch_drops_the_guard(self):
+        diags = check("""
+            def flip(job):
+                if job.state == "finished":
+                    pass
+                else:
+                    job.state = "failed"
+        """)
+        assert diags == [], render(diags)
+
+    def test_subscript_state_key_is_tracked(self):
+        diags = check("""
+            def resurrect(record):
+                if record["state"] == "failed":
+                    record["state"] = "queued"
+        """)
+        assert rules(diags) == {"proto.state.terminal"}
+
+    def test_class_default_must_be_declared(self):
+        diags = check("""
+            class Job:
+                state: str = "pending"
+        """)
+        assert rules(diags) == {"proto.state.unknown"}
+
+    def test_no_declarations_means_no_state_findings(self):
+        diags = check_source(textwrap.dedent("""
+            def mark(machine):
+                machine.state = "on"
+        """), path="unrelated.py")
+        assert diags == [], render(diags)
+
+
+OP_IMPL = """
+OPS = ("ping", "submit")
+ERROR_CODES = ("bad-request",)
+
+def _dispatch(self, op, params):
+    if op == "ping":
+        return {}
+    if op == "submit":
+        return {}
+    raise ValueError(op)
+
+class Client:
+    def ping(self):
+        return self.request("ping")
+    def submit(self, spec):
+        return self.request("submit", spec=spec)
+
+def reject(req_id):
+    return error_reply(req_id, "bad-request", "nope")
+"""
+
+
+class TestOpConformance:
+    def test_matched_implementation_is_clean(self):
+        diags = check_source(OP_IMPL, path="serve/server.py")
+        assert diags == [], render(diags)
+
+    def test_client_only_op_fires(self):
+        src = OP_IMPL + textwrap.dedent("""
+            class Wide(Client):
+                def legacy(self):
+                    return self.request("legacy")
+        """)
+        diags = check_source(src, path="serve/server.py")
+        assert "proto.op.client-only" in rules(diags)
+        assert "proto.op.undeclared" in rules(diags)
+
+    def test_server_only_op_fires(self):
+        src = OP_IMPL.replace(
+            '    raise ValueError(op)',
+            '    if op == "rogue":\n        return {}\n'
+            '    raise ValueError(op)')
+        diags = check_source(src, path="serve/server.py")
+        assert "proto.op.server-only" in rules(diags)
+
+    def test_declared_but_unhandled_op_fires(self):
+        src = OP_IMPL.replace('OPS = ("ping", "submit")',
+                              'OPS = ("ping", "submit", "tail")')
+        diags = check_source(src, path="serve/server.py")
+        assert "proto.op.unhandled" in rules(diags)
+
+    def test_conditional_error_code_is_resolved(self):
+        # The straight-line local must be traced to both literal arms.
+        src = OP_IMPL + textwrap.dedent("""
+            def classify(req_id, exc):
+                code = ("bad-request" if exc else "mystery")
+                return error_reply(req_id, code, str(exc))
+        """)
+        diags = check_source(src, path="serve/server.py")
+        assert {d.message for d in diags
+                if d.rule == "proto.error.mismatch"
+                and "mystery" in d.message}
+
+    def test_unconstructed_declared_code_is_a_warning(self):
+        src = OP_IMPL.replace("ERROR_CODES = (\"bad-request\",)",
+                              "ERROR_CODES = (\"bad-request\", \"spare\")")
+        diags = check_source(src, path="serve/server.py")
+        spare = [d for d in diags if "spare" in d.message]
+        assert spare and all(d.severity is Severity.WARNING
+                             for d in spare)
+
+    def test_suppression_comment_works(self):
+        src = OP_IMPL + textwrap.dedent("""
+            class Wide(Client):
+                def legacy(self):
+                    return self.request("legacy")  # repro: ignore[proto]
+        """)
+        diags = check_source(src, path="serve/server.py")
+        assert not [d for d in diags if "legacy" in d.message], \
+            render(diags)
+
+
+DOC = """
+| op | params |
+|---|---|
+| `ping` | - |
+| `submit` | `spec` |
+
+| code | meaning |
+|---|---|
+| `bad-request` | malformed |
+"""
+
+
+class TestDocConformance:
+    def test_doc_tables_parse(self):
+        ops, codes = doc_tables(DOC)
+        assert set(ops) == {"ping", "submit"}
+        assert set(codes) == {"bad-request"}
+
+    def test_matching_doc_is_clean(self):
+        diags = check_source(OP_IMPL, path="serve/server.py", doc_text=DOC)
+        assert diags == [], render(diags)
+
+    def test_undocumented_op_fires(self):
+        short_doc = DOC.replace("| `submit` | `spec` |\n", "")
+        diags = check_source(OP_IMPL, path="serve/server.py",
+                             doc_text=short_doc)
+        assert "proto.op.undocumented" in rules(diags)
+
+    def test_stale_doc_row_fires(self):
+        stale = DOC.replace("| `submit` | `spec` |",
+                            "| `submit` | `spec` |\n| `ghost` | - |")
+        diags = check_source(OP_IMPL, path="serve/server.py",
+                             doc_text=stale)
+        assert any("ghost" in d.message for d in diags
+                   if d.rule == "proto.op.undocumented")
+
+    def test_undocumented_error_code_fires(self):
+        # A second declared+constructed code that the doc table lacks.
+        src = OP_IMPL.replace(
+            'ERROR_CODES = ("bad-request",)',
+            'ERROR_CODES = ("bad-request", "internal")').replace(
+            'return error_reply(req_id, "bad-request", "nope")',
+            'return error_reply(req_id, "bad-request", "nope") or '
+            'error_reply(req_id, "internal", "boom")')
+        diags = check_source(src, path="serve/server.py", doc_text=DOC)
+        assert any("internal" in d.message for d in diags
+                   if d.rule == "proto.error.mismatch")
+
+
+class TestRepoIsClean:
+    def test_repo_conforms_to_its_own_contract(self):
+        diags = check_paths([REPO / "src/repro"],
+                            doc=REPO / "docs/service.md")
+        assert diags == [], render(diags)
+
+    def test_seeded_fixture_fires(self):
+        diags = check_paths([FIXTURES / "service_violations.py"],
+                            doc=REPO / "docs/service.md")
+        assert "proto.state.terminal" in rules(diags)

@@ -1,0 +1,296 @@
+"""Tests for the service-boundary taint pass (flow.taint.*)."""
+
+import pathlib
+import textwrap
+
+from repro.analysis.flow import build_module
+from repro.analysis.taint import (
+    check_modules,
+    check_paths,
+    check_source,
+    is_source_module,
+)
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+#: Paths under serve/ make spec-shaped parameters untrusted sources.
+SPEC_MODULE = "serve/jobs.py"
+
+
+def check(snippet, path=SPEC_MODULE):
+    return check_source(textwrap.dedent(snippet), path=path)
+
+
+def rules(diags):
+    return {d.rule for d in diags}
+
+
+def render(diags):
+    return "\n".join(d.render() for d in diags)
+
+
+class TestPathSink:
+    def test_spec_field_joined_into_path_fires(self):
+        diags = check("""
+            def handle(spec, base_dir):
+                return base_dir / spec["tenant"]
+        """)
+        assert rules(diags) == {"flow.taint.path"}
+
+    def test_spec_field_in_path_ctor_fires(self):
+        diags = check("""
+            import pathlib
+
+            def handle(spec):
+                return pathlib.Path(spec["tenant"]) / "ckpt.npz"
+        """)
+        assert "flow.taint.path" in rules(diags)
+
+    def test_decoded_value_into_os_calls_fires(self):
+        diags = check("""
+            import os
+            from repro.serve import protocol
+
+            def handle(line):
+                doc = protocol.decode(line)
+                os.makedirs(doc["run_dir"])
+        """, path="m.py")
+        assert rules(diags) == {"flow.taint.path"}
+
+    def test_validate_job_sanitizes(self):
+        diags = check("""
+            def handle(spec, base_dir):
+                validate_job(spec)
+                return base_dir / spec["tenant"]
+        """)
+        assert diags == [], render(diags)
+
+    def test_canonicalizer_return_is_clean(self):
+        diags = check("""
+            def handle(spec, base_dir):
+                spec = canonical_spec(spec)
+                return base_dir / spec["tenant"]
+        """)
+        assert diags == [], render(diags)
+
+    def test_sanitized_comment_vouches_for_the_line(self):
+        diags = check("""
+            def handle(spec, base_dir):
+                return base_dir / spec["tenant"]  # repro: sanitized[flow.taint.path]
+        """)
+        assert diags == [], render(diags)
+
+    def test_trusted_module_spec_param_is_clean(self):
+        # Outside the serve trust boundary a 'spec' parameter is just a
+        # parameter.
+        diags = check("""
+            def handle(spec, base_dir):
+                return base_dir / spec["tenant"]
+        """, path="repro/core/runner.py")
+        assert diags == [], render(diags)
+
+    def test_taint_module_marker_opts_in(self):
+        diags = check("""
+            # repro: taint-module
+            def handle(spec, base_dir):
+                return base_dir / spec["tenant"]
+        """, path="repro/core/runner.py")
+        assert rules(diags) == {"flow.taint.path"}
+
+    def test_numeric_division_is_not_a_path_join(self):
+        diags = check("""
+            def handle(spec):
+                total = 10.0
+                return total / spec["n_sims"]
+        """)
+        assert diags == [], render(diags)
+
+
+class TestExecSink:
+    def test_subprocess_fires(self):
+        diags = check("""
+            import subprocess
+
+            def handle(spec):
+                subprocess.run(spec["cmd"])
+        """)
+        assert rules(diags) == {"flow.taint.exec"}
+
+    def test_bare_eval_fires(self):
+        diags = check("""
+            def handle(spec):
+                return eval(spec["expr"])
+        """)
+        assert rules(diags) == {"flow.taint.exec"}
+
+    def test_fixed_table_lookup_is_clean(self):
+        diags = check("""
+            TASKS = {"sphere": object}
+
+            def handle(spec):
+                return TASKS[spec["task"]]
+        """)
+        assert diags == [], render(diags)
+
+
+class TestBudgetSink:
+    def test_float_on_spec_field_fires(self):
+        diags = check("""
+            def handle(spec):
+                return float(spec.get("n_sims", 0))
+        """)
+        assert rules(diags) == {"flow.taint.budget"}
+
+    def test_int_after_validation_is_clean(self):
+        diags = check("""
+            def handle(spec):
+                validate_job(spec)
+                return int(spec["n_sims"])
+        """)
+        assert diags == [], render(diags)
+
+    def test_trusted_record_coercion_is_clean(self):
+        # Persisted job records are the repo's own output, not client
+        # input — the from_record idiom must stay clean.
+        diags = check("""
+            def from_record(doc):
+                return int(doc.get("attempt", 0))
+        """)
+        assert diags == [], render(diags)
+
+
+class TestFormatSink:
+    def test_fstring_into_raw_write_fires(self):
+        diags = check("""
+            def reply(fh, spec):
+                fh.write(f"bad task {spec['task']}".encode())
+        """)
+        assert rules(diags) == {"flow.taint.format"}
+
+    def test_protocol_encode_is_the_sanctioned_path(self):
+        diags = check("""
+            from repro.serve import protocol
+
+            def reply(fh, spec):
+                fh.write(protocol.encode({"task": spec["task"]}))
+        """)
+        assert diags == [], render(diags)
+
+
+class TestFrameSizeSink:
+    def test_unbounded_readline_on_stream_fires(self):
+        diags = check("""
+            def serve(conn):
+                fh = conn.makefile("rwb")
+                return fh.readline()
+        """, path="m.py")
+        assert rules(diags) == {"flow.taint.frame-size"}
+
+    def test_capped_readline_is_clean(self):
+        diags = check("""
+            MAX = 1_000_000
+
+            def serve(conn):
+                fh = conn.makefile("rwb")
+                return fh.readline(MAX + 1)
+        """, path="m.py")
+        assert diags == [], render(diags)
+
+    def test_self_attribute_stream_across_methods(self):
+        diags = check("""
+            import socket
+
+            class Client:
+                def __init__(self, addr):
+                    self._sock = socket.create_connection(addr, timeout=5)
+                    self._fh = self._sock.makefile("rwb")
+
+                def read(self):
+                    return self._fh.read()
+
+                def close(self):
+                    self._sock.close()
+        """, path="m.py")
+        assert rules(diags) == {"flow.taint.frame-size"}
+
+    def test_file_reads_are_not_streams(self):
+        diags = check("""
+            def slurp(path):
+                with open(path) as fh:
+                    return fh.read()
+        """, path="m.py")
+        assert diags == [], render(diags)
+
+
+class TestCrossFile:
+    def test_taint_crosses_the_call_graph(self):
+        # The spec enters in the serve module; the sink lives in a
+        # helper module — only whole-unit analysis can connect them.
+        entry = build_module(textwrap.dedent("""
+            from repro.serve.layout import run_dir_for
+
+            def handle(spec):
+                return run_dir_for(spec["tenant"])
+        """), path=SPEC_MODULE)
+        helper = build_module(textwrap.dedent("""
+            import pathlib
+
+            def run_dir_for(tenant):
+                return pathlib.Path("runs") / tenant
+        """), path="serve/layout.py")
+        diags = check_modules([entry, helper])
+        assert rules(diags) == {"flow.taint.path"}
+        assert "layout.py" in diags[0].location
+
+    def test_clean_caller_of_shared_helper_stays_clean(self):
+        # Context sensitivity: the helper is only dangerous when its
+        # argument is tainted; a trusted caller must not inherit the
+        # finding twice.
+        entry = build_module(textwrap.dedent("""
+            from repro.serve.layout import run_dir_for
+
+            def trusted(name):
+                return run_dir_for(name)
+        """), path="core/runner.py")
+        helper = build_module(textwrap.dedent("""
+            import pathlib
+
+            def run_dir_for(tenant):
+                return pathlib.Path("runs") / tenant
+        """), path="serve/layout.py")
+        diags = check_modules([entry, helper])
+        assert diags == [], render(diags)
+
+
+class TestSuppression:
+    def test_ignore_comment_silences(self):
+        diags = check("""
+            def handle(spec, base_dir):
+                return base_dir / spec["tenant"]  # repro: ignore[flow.taint]
+        """)
+        assert diags == [], render(diags)
+
+    def test_syntax_error_is_a_diagnostic(self):
+        diags = check_source("def broken(:\n", path="m.py")
+        assert rules(diags) == {"code.syntax"}
+
+
+class TestSourceModulePredicate:
+    def test_serve_spec_modules_are_sources(self):
+        mod = build_module("x = 1\n", path="src/repro/serve/jobs.py")
+        assert is_source_module(mod)
+
+    def test_other_modules_are_not(self):
+        mod = build_module("x = 1\n", path="src/repro/core/ma_opt.py")
+        assert not is_source_module(mod)
+
+
+class TestRepoIsClean:
+    def test_serve_package_is_taint_clean(self):
+        diags = check_paths([REPO / "src/repro/serve"])
+        assert diags == [], render(diags)
+
+    def test_seeded_fixture_fires(self):
+        diags = check_paths([FIXTURES / "service_violations.py"])
+        assert "flow.taint.path" in rules(diags)

@@ -12,9 +12,12 @@ from repro.analysis.codelint import lint_source
 from repro.analysis.concurrency import check_paths as check_concurrency
 from repro.analysis.flow import iter_python_files
 from repro.analysis.locks import check_paths as check_locks
+from repro.analysis.protoconform import check_paths as check_protoconform
 from repro.analysis.rngflow import check_source as check_rngflow
+from repro.analysis.taint import check_paths as check_taint
 
-SERVE = pathlib.Path(__file__).resolve().parents[2] / "src/repro/serve"
+REPO = pathlib.Path(__file__).resolve().parents[2]
+SERVE = REPO / "src/repro/serve"
 
 
 def render(diags):
@@ -48,4 +51,18 @@ def test_concurrency_clean():
 
 def test_locks_clean():
     diags = check_locks([SERVE])
+    assert not diags, render(diags)
+
+
+def test_taint_clean():
+    # The trust boundary itself must hold: no client-supplied spec field
+    # reaches a path/exec/budget/format/frame sink unsanitized.
+    diags = check_taint([SERVE])
+    assert not diags, render(diags)
+
+
+def test_protoconform_clean():
+    # The implemented lifecycle, op dispatch and error codes must match
+    # the declared tables and the service doc.
+    diags = check_protoconform([SERVE], doc=REPO / "docs/service.md")
     assert not diags, render(diags)

@@ -101,7 +101,8 @@ class TestProtocolOverSocket:
                 fh = raw.makefile("rwb")
                 fh.write(b"this is not json\n")
                 fh.flush()
-                reply = protocol.decode(fh.readline())
+                reply = protocol.decode(
+                    fh.readline(protocol.MAX_FRAME_BYTES + 1))
             assert reply["ok"] is False
             assert reply["error"]["code"] == "bad-request"
         finally:
@@ -118,7 +119,8 @@ class TestProtocolOverSocket:
                     fh.write(protocol.encode(
                         protocol.request("ping", f"req-{i}")))
                 fh.flush()
-                ids = [protocol.decode(fh.readline())["id"]
+                ids = [protocol.decode(
+                           fh.readline(protocol.MAX_FRAME_BYTES + 1))["id"]
                        for i in range(3)]
             assert ids == ["req-0", "req-1", "req-2"]
         finally:
